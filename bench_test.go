@@ -1,0 +1,227 @@
+package repro
+
+// Benchmark harness: one benchmark per paper table/figure (each wraps the
+// corresponding experiment from internal/experiments and regenerates its
+// rows), plus component micro-benchmarks for the compressors and analysis
+// stages. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks default to a 32³ domain so the full suite stays
+// tractable; set MRBENCH_SIZE=64 (multiples of 16, powers of two for
+// spectra) to scale up.
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fft"
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/mcubes"
+	"repro/internal/metrics"
+	"repro/internal/postproc"
+	"repro/internal/synth"
+	"repro/internal/sz2"
+	"repro/internal/sz3"
+	"repro/internal/zfp"
+)
+
+func benchSize() int {
+	if v := os.Getenv("MRBENCH_SIZE"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 16 {
+			return n
+		}
+	}
+	return 32
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := experiments.Config{Size: benchSize(), Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper artifact ---------------------------------------
+
+func BenchmarkFig1AMRExample(b *testing.B)        { benchExperiment(b, "fig1") }
+func BenchmarkFig2LevelDistribution(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig4ROI(b *testing.B)               { benchExperiment(b, "fig4") }
+func BenchmarkFig5VisCompare(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig9PostVis(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkTable1Filters(b *testing.B)         { benchExperiment(b, "tab1") }
+func BenchmarkFig12PostprocRD(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkTable2SZ2Post(b *testing.B)         { benchExperiment(b, "tab2") }
+func BenchmarkFig14Uncertainty(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15InSituAMR(b *testing.B)        { benchExperiment(b, "fig15") }
+func BenchmarkTable4OutputTime(b *testing.B)      { benchExperiment(b, "tab4") }
+func BenchmarkTable5PostSZ2AMR(b *testing.B)      { benchExperiment(b, "tab5") }
+func BenchmarkFig16WarpXVis(b *testing.B)         { benchExperiment(b, "fig16") }
+func BenchmarkFig17AdaptiveRD(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18OfflineRD(b *testing.B)        { benchExperiment(b, "fig18") }
+func BenchmarkTable6PowerSpectrum(b *testing.B)   { benchExperiment(b, "tab6") }
+func BenchmarkTable7PostMultiRes(b *testing.B)    { benchExperiment(b, "tab7") }
+func BenchmarkTable8PostUniform(b *testing.B)     { benchExperiment(b, "tab8") }
+func BenchmarkTable9Overhead(b *testing.B)        { benchExperiment(b, "tab9") }
+
+// --- ablation benchmarks -----------------------------------------------------
+
+func BenchmarkAblationPaddingKind(b *testing.B)  { benchExperiment(b, "abl-padkind") }
+func BenchmarkAblationPadThreshold(b *testing.B) { benchExperiment(b, "abl-padthreshold") }
+func BenchmarkAblationAlphaBeta(b *testing.B)    { benchExperiment(b, "abl-alphabeta") }
+func BenchmarkAblationInterpolant(b *testing.B)  { benchExperiment(b, "abl-interp") }
+func BenchmarkAblationSampling(b *testing.B)     { benchExperiment(b, "abl-sampling") }
+func BenchmarkAblationArrangement(b *testing.B)  { benchExperiment(b, "abl-arrange") }
+func BenchmarkAblationCurve(b *testing.B)        { benchExperiment(b, "abl-curve") }
+
+// --- future-work extension benchmarks ----------------------------------------
+
+func BenchmarkExtHaloPreservation(b *testing.B) { benchExperiment(b, "ext-halo") }
+func BenchmarkExtVolumeRender(b *testing.B)     { benchExperiment(b, "ext-volren") }
+
+// --- component micro-benchmarks ---------------------------------------------
+
+func benchField(b *testing.B) *field.Field {
+	b.Helper()
+	return synth.Generate(synth.Nyx, benchSize(), 42)
+}
+
+func BenchmarkSZ3Compress(b *testing.B) {
+	f := benchField(b)
+	eb := f.ValueRange() * 1e-3
+	b.SetBytes(int64(f.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sz3.Compress(f, sz3.Options{EB: eb}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSZ3Decompress(b *testing.B) {
+	f := benchField(b)
+	eb := f.ValueRange() * 1e-3
+	blob, err := sz3.Compress(f, sz3.Options{EB: eb})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sz3.Decompress(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSZ2Compress(b *testing.B) {
+	f := benchField(b)
+	eb := f.ValueRange() * 1e-3
+	b.SetBytes(int64(f.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sz2.Compress(f, sz2.Options{EB: eb}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZFPCompress(b *testing.B) {
+	f := benchField(b)
+	eb := f.ValueRange() * 1e-3
+	b.SetBytes(int64(f.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zfp.Compress(f, zfp.Options{Tolerance: eb}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSZ3MRPipeline(b *testing.B) {
+	f := benchField(b)
+	h, err := grid.BuildAMR(f, 16, []float64{0.25, 0.75})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eb := f.ValueRange() * 1e-3
+	b.SetBytes(int64(h.PayloadBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompressHierarchy(h, core.SZ3MROptions(eb)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPostProcess(b *testing.B) {
+	f := benchField(b)
+	eb := f.ValueRange() * 5e-3
+	blob, err := zfp.Compress(f, zfp.Options{Tolerance: eb})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := zfp.Decompress(blob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := postproc.Options{EB: eb, BlockSize: 4}
+	a := postproc.Uniform(0.02)
+	b.SetBytes(int64(f.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postproc.Process(dec, a, opt)
+	}
+}
+
+func BenchmarkMarchingTetrahedra(b *testing.B) {
+	f := benchField(b)
+	iso := f.Mean() * 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mcubes.ExtractSurface(f, iso)
+	}
+}
+
+func BenchmarkPowerSpectrum(b *testing.B) {
+	f := benchField(b)
+	b.SetBytes(int64(f.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fft.PowerSpectrum(f, 9)
+	}
+}
+
+func BenchmarkSSIM(b *testing.B) {
+	f := benchField(b)
+	g := f.Clone()
+	g.Data[0] += 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.SSIMCentral(f, g)
+	}
+}
+
+func BenchmarkROIConvert(b *testing.B) {
+	f := benchField(b)
+	b.SetBytes(int64(f.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConvertROI(f, 16, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command mrviz renders scalar fields and compression-uncertainty overlays
+// to PNG.
+//
+//	mrviz -i field.bin -o slice.png [-z -1] [-cmap viridis|coolwarm|gray] [-log]
+//	mrviz -i field.bin -o overlay.png -uncertainty -iso 12.5 -stddev 0.8
+//
+// The uncertainty mode runs probabilistic marching cubes with a Gaussian
+// error model (mean 0, the given standard deviation) and blends the
+// isosurface-crossing probability in red over a grayscale slice (Fig. 14).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/field"
+	"repro/internal/render"
+	"repro/internal/uncertainty"
+)
+
+func main() {
+	var (
+		in     = flag.String("i", "", "input raw field file")
+		out    = flag.String("o", "", "output PNG")
+		z      = flag.Int("z", -1, "z slice (-1 = middle)")
+		cmap   = flag.String("cmap", "viridis", "colormap: viridis|coolwarm|gray")
+		logS   = flag.Bool("log", false, "log10 scale")
+		unc    = flag.Bool("uncertainty", false, "render isosurface-crossing probability overlay")
+		iso    = flag.Float64("iso", 0, "isovalue for -uncertainty")
+		stddev = flag.Float64("stddev", 0, "error-model standard deviation for -uncertainty")
+		vol    = flag.Bool("volume", false, "volume-render instead of slicing (combine with -uncertainty)")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := field.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	zi := *z
+	if zi < 0 {
+		zi = f.Nz / 2
+	}
+	if zi >= f.Nz {
+		fatal(fmt.Errorf("z=%d out of range [0,%d)", zi, f.Nz))
+	}
+
+	if *unc {
+		if *stddev <= 0 {
+			fatal(fmt.Errorf("-uncertainty requires -stddev > 0"))
+		}
+		probs, err := uncertainty.CrossProbabilities(f, *iso, uncertainty.ErrorModel{StdDev: *stddev})
+		if err != nil {
+			fatal(err)
+		}
+		if *vol {
+			img, err := render.VolumeWithUncertainty(f, probs, render.VolumeOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			if err := render.SavePNG(img, *out); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (uncertainty volume, iso=%g)\n", *out, *iso)
+			return
+		}
+		if zi >= probs.Nz {
+			zi = probs.Nz - 1
+		}
+		img, err := render.UncertaintyOverlay(f, probs, zi)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render.SavePNG(img, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (uncertainty overlay, iso=%g, z=%d)\n", *out, *iso, zi)
+		return
+	}
+
+	if *vol {
+		img := render.Volume(f, render.VolumeOptions{})
+		if err := render.SavePNG(img, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (volume render)\n", *out)
+		return
+	}
+
+	var cm render.Colormap
+	switch *cmap {
+	case "viridis":
+		cm = render.Viridis
+	case "coolwarm":
+		cm = render.CoolWarm
+	case "gray":
+		cm = render.Gray
+	default:
+		fatal(fmt.Errorf("unknown colormap %q", *cmap))
+	}
+	img := render.SliceZ(f, zi, cm)
+	if *logS {
+		img = render.LogSliceZ(f, zi, cm)
+	}
+	if err := render.SavePNG(img, *out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%s, z=%d)\n", *out, *cmap, zi)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Package bitio provides big-endian bit-level writers and readers used by the
+// entropy coders (Huffman in the SZ stand-ins, bit-plane truncation in the
+// ZFP stand-in).
+package bitio
+
+import (
+	"errors"
+)
+
+// Writer accumulates bits into a byte buffer, most significant bit first.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned in the low `n` bits
+	n    uint   // number of pending bits in cur (< 8 after flushing)
+	bits int    // total bits written
+}
+
+// NewWriter returns an empty bit writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBit appends one bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint64(b&1)
+	w.n++
+	w.bits++
+	if w.n == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.n = 0, 0
+	}
+}
+
+// WriteBits appends the low `n` bits of v, most significant first. n ≤ 64.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i) & 1))
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.bits }
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+// The writer remains usable; subsequent writes continue after the padding.
+func (w *Writer) Bytes() []byte {
+	out := w.buf
+	if w.n > 0 {
+		out = append(out, byte(w.cur<<(8-w.n)))
+	}
+	return out
+}
+
+// Reader consumes bits from a byte slice, most significant bit first.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewReader returns a reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ErrOutOfBits is returned when a read goes past the end of the buffer.
+var ErrOutOfBits = errors.New("bitio: out of bits")
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	bit := uint(r.buf[byteIdx]>>(7-uint(r.pos&7))) & 1
+	r.pos++
+	return bit, nil
+}
+
+// ReadBits returns the next n bits as the low bits of a uint64.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }

@@ -1,0 +1,99 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter()
+	bits := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(bits) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(bits))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsMSBFirst(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0b0110, 4)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0b10110110 {
+		t.Fatalf("bytes = %08b", b)
+	}
+}
+
+func TestReadBitsRoundTrip(t *testing.T) {
+	prop := func(v uint64, nRaw uint8) bool {
+		n := uint(nRaw%64) + 1
+		v &= (1 << n) - 1
+		w := NewWriter()
+		w.WriteBits(v, n)
+		r := NewReader(w.Bytes())
+		got, err := r.ReadBits(n)
+		return err == nil && got == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("want ErrOutOfBits, got %v", err)
+	}
+}
+
+func TestMixedSequenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	type item struct {
+		v uint64
+		n uint
+	}
+	var items []item
+	w := NewWriter()
+	for i := 0; i < 500; i++ {
+		n := uint(1 + rng.Intn(32))
+		v := rng.Uint64() & ((1 << n) - 1)
+		items = append(items, item{v, n})
+		w.WriteBits(v, n)
+	}
+	r := NewReader(w.Bytes())
+	for i, it := range items {
+		got, err := r.ReadBits(it.n)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if got != it.v {
+			t.Fatalf("item %d: got %d want %d", i, got, it.v)
+		}
+	}
+}
+
+func TestPosTracksBits(t *testing.T) {
+	r := NewReader([]byte{0xAB, 0xCD})
+	if _, err := r.ReadBits(5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pos() != 5 {
+		t.Fatalf("Pos = %d, want 5", r.Pos())
+	}
+}

@@ -1,0 +1,651 @@
+// Package core implements the paper's primary contribution: SZ3MR, a
+// multi-resolution compression pipeline that arranges each level's unit
+// blocks into a compressor-friendly layout (§III-A), optionally pads the two
+// small dimensions with extrapolated layers, applies a per-interpolation-
+// level adaptive error bound, and drives one of three error-bounded
+// compressors (SZ3 / SZ2 / ZFP stand-ins) over the result.
+//
+// The same pipeline, configured with the paper's baseline arrangements,
+// reproduces the comparison systems: Baseline-SZ3 (plain linear merge),
+// AMRIC-SZ3 (cubic stacking), TAC-SZ3 (adjacency boxes compressed
+// separately), and a zMesh-style 1D z-order layout.
+//
+// The two pipeline stages are exposed separately — Prepare (the paper's
+// "pre-processing": collecting data into the compression buffer) and
+// Compressed (compression proper) — so the in-situ output-time breakdown of
+// Table IV can be measured.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/layout"
+	"repro/internal/postproc"
+	"repro/internal/sz2"
+	"repro/internal/sz3"
+	"repro/internal/zfp"
+)
+
+// Compressor selects the backend lossy compressor.
+type Compressor byte
+
+// Backend compressors.
+const (
+	SZ3 Compressor = iota // global interpolation (default)
+	SZ2                   // block-wise Lorenzo/regression
+	ZFP                   // block-wise transform
+)
+
+func (c Compressor) String() string {
+	switch c {
+	case SZ3:
+		return "SZ3"
+	case SZ2:
+		return "SZ2"
+	case ZFP:
+		return "ZFP"
+	}
+	return fmt.Sprintf("Compressor(%d)", byte(c))
+}
+
+// Arrangement selects how a level's unit blocks are laid out before
+// compression (Fig. 6 of the paper).
+type Arrangement byte
+
+// Arrangements.
+const (
+	// ArrangeLinear concatenates unit blocks along z (the baseline layout,
+	// and — with padding and adaptive eb — the paper's SZ3MR layout).
+	ArrangeLinear Arrangement = iota
+	// ArrangeStack stacks unit blocks into a near-cube (AMRIC).
+	ArrangeStack
+	// ArrangeTAC merges adjacent blocks into boxes compressed separately.
+	ArrangeTAC
+	// ArrangeZOrder1D flattens blocks along a Morton curve into a 1D array
+	// (zMesh-style; loses higher-dimensional spatial information).
+	ArrangeZOrder1D
+)
+
+func (a Arrangement) String() string {
+	switch a {
+	case ArrangeLinear:
+		return "linear"
+	case ArrangeStack:
+		return "stack"
+	case ArrangeTAC:
+		return "tac"
+	case ArrangeZOrder1D:
+		return "zorder1d"
+	}
+	return fmt.Sprintf("Arrangement(%d)", byte(a))
+}
+
+// Options configures the multi-resolution pipeline.
+type Options struct {
+	// EB is the absolute error bound applied to every level (> 0).
+	EB float64
+	// Compressor selects the backend (default SZ3).
+	Compressor Compressor
+	// Arrangement selects the unit-block layout (default ArrangeLinear).
+	Arrangement Arrangement
+	// Pad enables the paper's padding improvement: one linearly-extrapolated
+	// layer on each small dimension of a linear merge, applied only when the
+	// unit block size exceeds 4 (the overhead analysis of §III-A).
+	Pad bool
+	// PadKind selects the extrapolation (default layout.PadLinear).
+	PadKind layout.PadKind
+	// AdaptiveEB enables the per-interpolation-level error bound
+	// eb_l = eb / min(α^(L−l), β) for the SZ3 backend.
+	AdaptiveEB bool
+	// Alpha and Beta parameterize AdaptiveEB (defaults 2.25 and 8).
+	Alpha, Beta float64
+	// SZ2BlockSize overrides SZ2's block size (default 4, the AMRIC-tuned
+	// value for multi-resolution data).
+	SZ2BlockSize int
+	// Interp selects the SZ3 interpolant (default linear).
+	Interp sz3.Interpolant
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.Alpha == 0 {
+		v.Alpha = 2.25
+	}
+	if v.Beta == 0 {
+		v.Beta = 8
+	}
+	if v.SZ2BlockSize == 0 {
+		v.SZ2BlockSize = sz2.MultiResBlockSize
+	}
+	return v
+}
+
+// SZ3MROptions returns the paper's full SZ3MR configuration (linear merge +
+// padding + adaptive error bound), the "Ours (pad+eb)" curve.
+func SZ3MROptions(eb float64) Options {
+	return Options{EB: eb, Compressor: SZ3, Arrangement: ArrangeLinear, Pad: true, AdaptiveEB: true}
+}
+
+// SZ3MRPadOnlyOptions returns the intermediate "Ours (pad)" configuration.
+func SZ3MRPadOnlyOptions(eb float64) Options {
+	return Options{EB: eb, Compressor: SZ3, Arrangement: ArrangeLinear, Pad: true}
+}
+
+// BaselineSZ3Options returns the plain linear-merge SZ3 baseline.
+func BaselineSZ3Options(eb float64) Options {
+	return Options{EB: eb, Compressor: SZ3, Arrangement: ArrangeLinear}
+}
+
+// AMRICSZ3Options returns the AMRIC-style cubic-stacking SZ3 configuration.
+func AMRICSZ3Options(eb float64) Options {
+	return Options{EB: eb, Compressor: SZ3, Arrangement: ArrangeStack}
+}
+
+// TACSZ3Options returns the TAC-style adjacency-merge SZ3 configuration.
+func TACSZ3Options(eb float64) Options {
+	return Options{EB: eb, Compressor: SZ3, Arrangement: ArrangeTAC}
+}
+
+// AMRICSZ2Options returns AMRIC's SZ2 configuration for multi-resolution
+// data (linear merge, 4³ SZ2 blocks) used by the post-processing tables.
+func AMRICSZ2Options(eb float64) Options {
+	return Options{EB: eb, Compressor: SZ2, Arrangement: ArrangeLinear}
+}
+
+// MRZFPOptions returns the ZFP backend over a linear merge.
+func MRZFPOptions(eb float64) Options {
+	return Options{EB: eb, Compressor: ZFP, Arrangement: ArrangeLinear}
+}
+
+// preparedLevel is one level's compression-ready buffers.
+type preparedLevel struct {
+	blocks [][3]int       // merge order
+	merged *field.Field   // linear/stack/zorder arrangements (nil if empty)
+	padded bool           // whether merged carries pad layers
+	boxes  []layout.Box   // TAC arrangement
+	boxFld []*field.Field // TAC box data
+}
+
+// Prepared holds the output of the pre-processing stage: merged (and
+// possibly padded) per-level arrays ready for the backend compressor.
+type Prepared struct {
+	nx, ny, nz int
+	blockB     int
+	opt        Options
+	levels     []preparedLevel
+}
+
+// Prepare runs the pre-processing stage: extract each level's unit blocks
+// and arrange (and pad) them into compression buffers.
+func Prepare(h *grid.Hierarchy, opt Options) (*Prepared, error) {
+	if opt.EB <= 0 {
+		return nil, errors.New("core: error bound must be positive")
+	}
+	opt = (&opt).withDefaults()
+	p := &Prepared{nx: h.Nx, ny: h.Ny, nz: h.Nz, blockB: h.BlockB, opt: opt}
+	for li := range h.Levels {
+		var pl preparedLevel
+		u := h.UnitBlockSize(li)
+		switch opt.Arrangement {
+		case ArrangeLinear:
+			m := layout.LinearMerge(h, li)
+			pl.blocks = m.Blocks
+			pl.merged = m.Data
+			if opt.Pad && u > 4 && m.Data != nil {
+				pl.merged = layout.PadXY(m.Data, opt.PadKind)
+				pl.padded = true
+			}
+		case ArrangeStack:
+			m := layout.StackMerge(h, li)
+			pl.blocks = m.Blocks
+			pl.merged = m.Data
+		case ArrangeZOrder1D:
+			m := layout.ZOrderFlatten1D(h, li)
+			pl.blocks = m.Blocks
+			pl.merged = m.Data
+		case ArrangeTAC:
+			pl.boxes = layout.TACPartition(h, li)
+			for _, b := range pl.boxes {
+				pl.boxFld = append(pl.boxFld, layout.ExtractBox(h, li, b))
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown arrangement %d", opt.Arrangement)
+		}
+		p.levels = append(p.levels, pl)
+	}
+	return p, nil
+}
+
+// compressField dispatches one buffer to the selected backend.
+func compressField(f *field.Field, opt Options) ([]byte, error) {
+	switch opt.Compressor {
+	case SZ3:
+		so := sz3.Options{EB: opt.EB, Interp: opt.Interp}
+		if opt.AdaptiveEB {
+			so.LevelEB = sz3.AdaptiveLevelEB(opt.EB, opt.Alpha, opt.Beta)
+		}
+		return sz3.Compress(f, so)
+	case SZ2:
+		return sz2.Compress(f, sz2.Options{EB: opt.EB, BlockSize: opt.SZ2BlockSize})
+	case ZFP:
+		return zfp.Compress(f, zfp.Options{Tolerance: opt.EB})
+	default:
+		return nil, fmt.Errorf("core: unknown compressor %d", opt.Compressor)
+	}
+}
+
+func decompressField(data []byte, opt Options) (*field.Field, error) {
+	switch opt.Compressor {
+	case SZ3:
+		return sz3.Decompress(data)
+	case SZ2:
+		return sz2.Decompress(data)
+	case ZFP:
+		return zfp.Decompress(data)
+	default:
+		return nil, fmt.Errorf("core: unknown compressor %d", opt.Compressor)
+	}
+}
+
+// Compressed is a serialized multi-resolution compression result.
+type Compressed struct {
+	// Blob is the self-describing container.
+	Blob []byte
+	// LevelBytes records the compressed payload per level (diagnostics).
+	LevelBytes []int
+}
+
+// Size returns the container size in bytes.
+func (c *Compressed) Size() int { return len(c.Blob) }
+
+// Compress runs the compression stage over prepared buffers and serializes
+// everything into a container.
+func (p *Prepared) Compress() (*Compressed, error) {
+	var buf bytes.Buffer
+	buf.WriteString("MRWF")
+	buf.WriteByte(1) // version
+	o := p.opt
+	buf.WriteByte(byte(o.Compressor))
+	buf.WriteByte(byte(o.Arrangement))
+	buf.WriteByte(boolByte(o.Pad))
+	buf.WriteByte(byte(o.PadKind))
+	buf.WriteByte(boolByte(o.AdaptiveEB))
+	buf.WriteByte(byte(o.SZ2BlockSize))
+	buf.WriteByte(byte(o.Interp))
+	var tmp [binary.MaxVarintLen64]byte
+	writeU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	writeF := func(v float64) {
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		buf.Write(b8[:])
+	}
+	writeF(o.EB)
+	writeF(o.Alpha)
+	writeF(o.Beta)
+	writeU(uint64(p.nx))
+	writeU(uint64(p.ny))
+	writeU(uint64(p.nz))
+	writeU(uint64(p.blockB))
+	writeU(uint64(len(p.levels)))
+
+	nbx := p.nx / p.blockB
+	nby := p.ny / p.blockB
+	levelBytes := make([]int, len(p.levels))
+	for li, pl := range p.levels {
+		// Block list as deltas of flat indices (raster order for linear /
+		// stack; Morton order for zorder — order matters, so store as-is).
+		writeU(uint64(len(pl.blocks)))
+		prev := int64(0)
+		for _, bc := range pl.blocks {
+			flat := int64(bc[0] + nbx*(bc[1]+nby*bc[2]))
+			n := binary.PutVarint(tmp[:], flat-prev)
+			buf.Write(tmp[:n])
+			prev = flat
+		}
+		buf.WriteByte(boolByte(pl.padded))
+		if p.opt.Arrangement == ArrangeTAC {
+			writeU(uint64(len(pl.boxes)))
+			for bi, b := range pl.boxes {
+				for _, v := range []int{b.X0, b.Y0, b.Z0, b.WX, b.WY, b.WZ} {
+					writeU(uint64(v))
+				}
+				stream, err := compressField(pl.boxFld[bi], p.opt)
+				if err != nil {
+					return nil, fmt.Errorf("core: level %d box %d: %w", li, bi, err)
+				}
+				writeU(uint64(len(stream)))
+				buf.Write(stream)
+				levelBytes[li] += len(stream)
+			}
+			continue
+		}
+		if pl.merged == nil {
+			writeU(0)
+			continue
+		}
+		stream, err := compressField(pl.merged, p.opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", li, err)
+		}
+		writeU(uint64(len(stream)))
+		buf.Write(stream)
+		levelBytes[li] += len(stream)
+	}
+	return &Compressed{Blob: buf.Bytes(), LevelBytes: levelBytes}, nil
+}
+
+// CompressHierarchy runs both stages.
+func CompressHierarchy(h *grid.Hierarchy, opt Options) (*Compressed, error) {
+	p, err := Prepare(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.Compress()
+}
+
+// postHook transforms a level's decoded field (after unpadding, before
+// unmerging) — the insertion point for error-bounded post-processing.
+type postHook func(level, unitSize int, opt Options, f *field.Field) *field.Field
+
+// Decompress reconstructs the multi-resolution hierarchy from a container.
+func Decompress(blob []byte) (*grid.Hierarchy, error) {
+	return decompressImpl(blob, nil)
+}
+
+// PostBlockSize returns the block size whose boundaries the post-processor
+// should smooth for a given backend: the compressor block for SZ2/ZFP, or
+// the unit block size for the partitioned-SZ3 multi-resolution case (§III-B:
+// "the partition size for multi-resolution data is larger than the block
+// sizes used by SZ/ZFP — 16 vs 4").
+func PostBlockSize(opt Options, unitSize int) int {
+	switch opt.Compressor {
+	case SZ2:
+		return opt.SZ2BlockSize
+	case ZFP:
+		return 4
+	default:
+		return unitSize
+	}
+}
+
+// PostCandidates returns the paper's intensity candidate set for the
+// container's backend.
+func PostCandidates(c Compressor) []float64 {
+	if c == ZFP {
+		return postproc.ZFPCandidates()
+	}
+	return postproc.SZ2Candidates()
+}
+
+// RoundTrip returns a single-field compress+decompress closure for the
+// configured backend at the working error bound, used for sampling.
+func (o Options) RoundTrip() postproc.RoundTrip {
+	opt := (&o).withDefaults()
+	return func(f *field.Field) (*field.Field, error) {
+		data, err := compressField(f, opt)
+		if err != nil {
+			return nil, err
+		}
+		return decompressField(data, opt)
+	}
+}
+
+// FindIntensities runs the paper's sample-and-model stage on the prepared
+// buffers: for each level it compresses a ≤1.5% sample and selects the
+// per-dimension post-processing intensity by stochastic descent over the
+// backend's candidate set. Levels without data get zero intensity.
+func (p *Prepared) FindIntensities() ([]postproc.Intensity, error) {
+	rt := p.opt.RoundTrip()
+	out := make([]postproc.Intensity, len(p.levels))
+	for li, pl := range p.levels {
+		var sample *field.Field
+		switch {
+		case pl.merged != nil:
+			sample = pl.merged
+		case len(pl.boxFld) > 0:
+			sample = largestField(pl.boxFld)
+		default:
+			continue
+		}
+		u := p.blockB >> li
+		bs := PostBlockSize(p.opt, u)
+		po := postproc.Options{EB: p.opt.EB, BlockSize: bs, Candidates: PostCandidates(p.opt.Compressor)}
+		set, err := postproc.CollectSamples(sample, rt, po)
+		if err != nil {
+			// A level too small to sample simply goes unprocessed.
+			continue
+		}
+		out[li] = set.FindIntensity()
+	}
+	return out, nil
+}
+
+func largestField(fs []*field.Field) *field.Field {
+	best := fs[0]
+	for _, f := range fs[1:] {
+		if f.Len() > best.Len() {
+			best = f
+		}
+	}
+	return best
+}
+
+// DecompressProcessed decompresses and applies error-bounded post-processing
+// with the given per-level intensities to each level's decoded array before
+// reassembly.
+func DecompressProcessed(blob []byte, intens []postproc.Intensity) (*grid.Hierarchy, error) {
+	hook := func(level, unitSize int, opt Options, f *field.Field) *field.Field {
+		if level >= len(intens) {
+			return f
+		}
+		a := intens[level]
+		if a == (postproc.Intensity{}) {
+			return f
+		}
+		bs := PostBlockSize(opt, unitSize)
+		return postproc.Process(f, a, postproc.Options{EB: opt.EB, BlockSize: bs})
+	}
+	return decompressImpl(blob, hook)
+}
+
+func decompressImpl(blob []byte, post postHook) (*grid.Hierarchy, error) {
+	if len(blob) < 12 || string(blob[:4]) != "MRWF" {
+		return nil, errors.New("core: bad magic")
+	}
+	if blob[4] != 1 {
+		return nil, fmt.Errorf("core: unsupported version %d", blob[4])
+	}
+	buf := blob[5:]
+	need := func(n int) error {
+		if len(buf) < n {
+			return errors.New("core: truncated container")
+		}
+		return nil
+	}
+	if err := need(7); err != nil {
+		return nil, err
+	}
+	var opt Options
+	opt.Compressor = Compressor(buf[0])
+	opt.Arrangement = Arrangement(buf[1])
+	opt.Pad = buf[2] != 0
+	opt.PadKind = layout.PadKind(buf[3])
+	opt.AdaptiveEB = buf[4] != 0
+	opt.SZ2BlockSize = int(buf[5])
+	opt.Interp = sz3.Interpolant(buf[6])
+	buf = buf[7:]
+	readF := func() (float64, error) {
+		if err := need(8); err != nil {
+			return 0, err
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+		return v, nil
+	}
+	readU := func() (uint64, error) {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return 0, errors.New("core: truncated varint")
+		}
+		buf = buf[n:]
+		return v, nil
+	}
+	readV := func() (int64, error) {
+		v, n := binary.Varint(buf)
+		if n <= 0 {
+			return 0, errors.New("core: truncated varint")
+		}
+		buf = buf[n:]
+		return v, nil
+	}
+	var err error
+	if opt.EB, err = readF(); err != nil {
+		return nil, err
+	}
+	if opt.Alpha, err = readF(); err != nil {
+		return nil, err
+	}
+	if opt.Beta, err = readF(); err != nil {
+		return nil, err
+	}
+	dims := make([]int, 5)
+	for i := range dims {
+		v, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		dims[i] = int(v)
+	}
+	nx, ny, nz, blockB, nLevels := dims[0], dims[1], dims[2], dims[3], dims[4]
+	h, err := grid.New(nx, ny, nz, blockB, nLevels)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	nbx, nby, nbz := h.NumBlocks()
+
+	for li := 0; li < nLevels; li++ {
+		nBlocks64, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		nBlocks := int(nBlocks64)
+		if nBlocks > nbx*nby*nbz {
+			return nil, errors.New("core: implausible block count")
+		}
+		blocks := make([][3]int, nBlocks)
+		prev := int64(0)
+		for i := range blocks {
+			d, err := readV()
+			if err != nil {
+				return nil, err
+			}
+			prev += d
+			flat := int(prev)
+			if flat < 0 || flat >= nbx*nby*nbz {
+				return nil, errors.New("core: block index out of range")
+			}
+			blocks[i] = [3]int{flat % nbx, (flat / nbx) % nby, flat / (nbx * nby)}
+		}
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		padded := buf[0] != 0
+		buf = buf[1:]
+
+		if opt.Arrangement == ArrangeTAC {
+			nBoxes64, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			for bi := 0; bi < int(nBoxes64); bi++ {
+				var vals [6]int
+				for i := range vals {
+					v, err := readU()
+					if err != nil {
+						return nil, err
+					}
+					vals[i] = int(v)
+				}
+				b := layout.Box{X0: vals[0], Y0: vals[1], Z0: vals[2], WX: vals[3], WY: vals[4], WZ: vals[5]}
+				slen, err := readU()
+				if err != nil {
+					return nil, err
+				}
+				if uint64(len(buf)) < slen {
+					return nil, errors.New("core: truncated box stream")
+				}
+				f, err := decompressField(buf[:slen], opt)
+				if err != nil {
+					return nil, fmt.Errorf("core: level %d box %d: %w", li, bi, err)
+				}
+				buf = buf[slen:]
+				if post != nil {
+					f = post(li, h.UnitBlockSize(li), opt, f)
+				}
+				if err := layout.InsertBox(h, li, b, f); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+
+		slen, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		if slen == 0 {
+			continue // empty level
+		}
+		if uint64(len(buf)) < slen {
+			return nil, errors.New("core: truncated level stream")
+		}
+		f, err := decompressField(buf[:slen], opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", li, err)
+		}
+		buf = buf[slen:]
+		if padded {
+			f = layout.UnpadXY(f)
+		}
+		if post != nil {
+			f = post(li, h.UnitBlockSize(li), opt, f)
+		}
+		m := &layout.Merged{Data: f, U: h.UnitBlockSize(li), Blocks: blocks}
+		switch opt.Arrangement {
+		case ArrangeLinear:
+			err = layout.LinearUnmerge(m, h, li)
+		case ArrangeStack:
+			err = layout.StackUnmerge(m, h, li)
+		case ArrangeZOrder1D:
+			err = layout.ZOrderUnflatten1D(m, h, li)
+		default:
+			err = fmt.Errorf("core: unknown arrangement %d", opt.Arrangement)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Ratio returns the compression ratio relative to the hierarchy's raw
+// multi-resolution payload.
+func (c *Compressed) Ratio(h *grid.Hierarchy) float64 {
+	return float64(h.PayloadBytes()) / float64(c.Size())
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

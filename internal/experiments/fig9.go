@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/metrics"
+	"repro/internal/postproc"
+	"repro/internal/render"
+	"repro/internal/synth"
+	"repro/internal/sz2"
+	"repro/internal/zfp"
+)
+
+func init() {
+	register("fig9", "Visual comparison of block-wise compression before/after post-processing (WarpX×ZFP, Nyx×SZ2)", runFig9)
+}
+
+// runFig9 reproduces Fig. 9: for WarpX's Ez field under ZFP and Nyx's
+// density under SZ2 at aggressive ratios (the paper uses CR 139 and 143),
+// report SSIM and PSNR of the decompressed data and of the post-processed
+// data, and render the three panels per dataset when an output directory is
+// given.
+func runFig9(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	printHeader(w, "Fig 9: post-processing visual quality on block-wise compressors",
+		"dataset", "compressor", "CR", "variant", "SSIM", "PSNR")
+	cases := []struct {
+		name     string
+		f        *field.Field
+		comp     core.Compressor
+		targetCR float64
+	}{
+		{"WarpX-Ez", synth.Generate(synth.WarpX, cfg.Size, cfg.Seed+50), core.ZFP, 60},
+		{"Nyx-density", synth.Generate(synth.Nyx, cfg.Size, cfg.Seed+51), core.SZ2, 60},
+	}
+	for _, c := range cases {
+		eb, blob, err := uniformEBForCR(c.f, c.comp, c.targetCR)
+		if err != nil {
+			return err
+		}
+		dec, err := rtDecode(c.comp, blob)
+		if err != nil {
+			return err
+		}
+		bs := 4
+		if c.comp == core.SZ2 {
+			bs = sz2.DefaultBlockSize
+		}
+		po := postproc.Options{EB: eb, BlockSize: bs, Candidates: core.PostCandidates(c.comp)}
+		set, err := postproc.CollectSamples(c.f, uniformRoundTrip(c.comp, eb), po)
+		if err != nil {
+			return err
+		}
+		proc := postproc.Process(dec, set.FindIntensity(), po)
+		cr := float64(c.f.Bytes()) / float64(len(blob))
+		fmt.Fprintf(w, "%s\t%v\t%.1f\t%s\t%.3f\t%.2f\n", c.name, c.comp, cr,
+			"decompressed", metrics.SSIMCentral(c.f, dec), metrics.PSNR(c.f, dec))
+		fmt.Fprintf(w, "%s\t%v\t%.1f\t%s\t%.3f\t%.2f\n", c.name, c.comp, cr,
+			"processed", metrics.SSIMCentral(c.f, proc), metrics.PSNR(c.f, proc))
+		if cfg.OutDir != "" {
+			lo, hi := c.f.Range()
+			z := c.f.Nz / 2
+			for suffix, g := range map[string]*field.Field{"original": c.f, "decompressed": dec, "processed": proc} {
+				img := render.SliceZNormalized(g, z, render.CoolWarm, lo, hi)
+				path := filepath.Join(cfg.OutDir, fmt.Sprintf("fig9_%s_%s.png", c.name, suffix))
+				if err := render.SavePNG(img, path); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(w, "wrote 3 panels for %s to %s\n", c.name, cfg.OutDir)
+		}
+	}
+	return nil
+}
+
+// uniformEBForCR searches the error bound bringing a uniform-field backend
+// near the target CR and returns the bound plus the compressed stream.
+func uniformEBForCR(f *field.Field, comp core.Compressor, targetCR float64) (float64, []byte, error) {
+	rng := f.ValueRange()
+	lo, hi := rng*1e-7, rng*0.5
+	var eb float64
+	var blob []byte
+	var err error
+	for i := 0; i < 12; i++ {
+		eb = math.Sqrt(lo * hi)
+		switch comp {
+		case core.ZFP:
+			blob, err = zfp.Compress(f, zfp.Options{Tolerance: eb})
+		default:
+			blob, err = sz2.Compress(f, sz2.Options{EB: eb})
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		cr := float64(f.Bytes()) / float64(len(blob))
+		if math.Abs(cr-targetCR)/targetCR < 0.05 {
+			return eb, blob, nil
+		}
+		if cr < targetCR {
+			lo = eb
+		} else {
+			hi = eb
+		}
+	}
+	return eb, blob, nil
+}

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register("fig15", "In-situ AMR rate-distortion per level (Nyx-T1, SZ3 methods + post-process)", runFig15)
+	register("fig17", "Adaptive-data rate-distortion (WarpX in-situ, Hurricane offline)", runFig17)
+	register("fig18", "Offline AMR rate-distortion incl. TAC (Nyx-T2, RT)", runFig18)
+	register("fig5", "Visual-quality comparison at matched CR (Nyx fine level)", runFig5)
+	register("fig16", "WarpX visual comparison: original SZ3 vs SZ3MR at matched CR", runFig16)
+	register("tab4", "Output-time breakdown: AMRIC vs SZ3MR (pre-process vs compress+write)", runTable4)
+	register("tab6", "Power-spectrum relative error at matched CR (Nyx-T2, k<10)", runTable6)
+}
+
+// runFig15 sweeps error bounds over the in-situ AMR snapshot and reports,
+// per refinement level, CR and PSNR for each SZ3 configuration plus the
+// post-processed SZ3MR ("Ours (processed)").
+func runFig15(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	h, err := nyxT1(cfg)
+	if err != nil {
+		return err
+	}
+	rng := hierarchyRange(h)
+	printHeader(w, "Fig 15: Nyx-T1 in-situ AMR rate-distortion",
+		"method", "relEB", "level", "CR", "PSNR")
+	for _, m := range sz3Methods(false) {
+		for _, rel := range relEBSweep {
+			crs, psnrs, err := levelPSNRAndCR(h, m.opts(rel*rng))
+			if err != nil {
+				return fmt.Errorf("%s: %w", m.name, err)
+			}
+			for li := range crs {
+				fmt.Fprintf(w, "%s\t%.0e\t%d\t%.1f\t%.2f\n", m.name, rel, li, crs[li], psnrs[li])
+			}
+		}
+	}
+	// Ours (processed): SZ3MR + error-bounded post-processing.
+	for _, rel := range relEBSweep {
+		opts := core.SZ3MROptions(rel * rng)
+		prep, err := core.Prepare(h, opts)
+		if err != nil {
+			return err
+		}
+		intens, err := prep.FindIntensities()
+		if err != nil {
+			return err
+		}
+		c, err := prep.Compress()
+		if err != nil {
+			return err
+		}
+		g, err := core.DecompressProcessed(c.Blob, intens)
+		if err != nil {
+			return err
+		}
+		for li := range h.Levels {
+			a := mergedLevel(h, li)
+			b := mergedLevel(g, li)
+			if a == nil {
+				continue
+			}
+			cr := float64(a.Bytes()) / float64(maxInt(c.LevelBytes[li], 1))
+			fmt.Fprintf(w, "%s\t%.0e\t%d\t%.1f\t%.2f\n", "Ours(processed)", rel, li, cr, metrics.PSNR(a, b))
+		}
+	}
+	return nil
+}
+
+// runFig17 reports adaptive-data rate-distortion on the WarpX and Hurricane
+// datasets for baseline SZ3, Ours(pad), and Ours(pad+eb). (AMRIC/TAC have no
+// adaptive-data mode, as noted in §IV-B.)
+func runFig17(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	_, warp, err := warpxAdaptive(cfg)
+	if err != nil {
+		return err
+	}
+	_, hurr, err := hurricaneAdaptive(cfg)
+	if err != nil {
+		return err
+	}
+	printHeader(w, "Fig 17: adaptive-data rate-distortion",
+		"dataset", "method", "relEB", "CR", "PSNR")
+	methods := []method{
+		{"Baseline-SZ3", core.BaselineSZ3Options},
+		{"Ours(pad)", core.SZ3MRPadOnlyOptions},
+		{"Ours(pad+eb)", core.SZ3MROptions},
+	}
+	for _, ds := range []struct {
+		name string
+		h    *grid.Hierarchy
+	}{{"WarpX", warp}, {"Hurricane", hurr}} {
+		rng := hierarchyRange(ds.h)
+		for _, m := range methods {
+			for _, rel := range relEBSweep {
+				cr, psnr, err := compressOverall(ds.h, m.opts(rel*rng))
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%s\t%s\t%.0e\t%.1f\t%.2f\n", ds.name, m.name, rel, cr, psnr)
+			}
+		}
+	}
+	return nil
+}
+
+// runFig18 reports offline AMR rate-distortion including the TAC baseline.
+func runFig18(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	printHeader(w, "Fig 18: offline AMR rate-distortion",
+		"dataset", "method", "relEB", "CR", "PSNR")
+	for _, ds := range []struct {
+		name  string
+		build func(Config) (*grid.Hierarchy, error)
+	}{
+		{"Nyx-T2", nyxT2},
+		{"RT", rtAMR},
+	} {
+		h, err := ds.build(cfg)
+		if err != nil {
+			return err
+		}
+		rng := hierarchyRange(h)
+		for _, m := range sz3Methods(true) {
+			for _, rel := range relEBSweep {
+				cr, psnr, err := compressOverall(h, m.opts(rel*rng))
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%s\t%s\t%.0e\t%.1f\t%.2f\n", ds.name, m.name, rel, cr, psnr)
+			}
+		}
+	}
+	return nil
+}
+
+// runFig5 matches the methods at a common compression ratio on the AMR
+// dataset and compares reconstruction quality on the fine level, reporting
+// SSIM (central slice) and PSNR as in the paper's Fig. 5 captions.
+func runFig5(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	h, err := nyxT2(cfg)
+	if err != nil {
+		return err
+	}
+	const targetCR = 60
+	printHeader(w, "Fig 5: quality at matched CR (Nyx fine level)",
+		"method", "CR", "SSIM", "PSNR")
+	for _, m := range sz3Methods(true) {
+		eb, err := ebForTargetCR(h, m.opts, targetCR)
+		if err != nil {
+			return err
+		}
+		c, err := core.CompressHierarchy(h, m.opts(eb))
+		if err != nil {
+			return err
+		}
+		g, err := core.Decompress(c.Blob)
+		if err != nil {
+			return err
+		}
+		a := mergedLevel(h, 0)
+		b := mergedLevel(g, 0)
+		fmt.Fprintf(w, "%s\t%.1f\t%.3f\t%.2f\n", m.name, c.Ratio(h),
+			metrics.SSIMCentral(a, b), metrics.PSNR(a, b))
+	}
+	return nil
+}
+
+// runFig16 compares original SZ3 and SZ3MR on the WarpX adaptive data at a
+// matched CR, reporting full-field SSIM and PSNR of the reconstruction
+// against the uniform original.
+func runFig16(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	f, h, err := warpxAdaptive(cfg)
+	if err != nil {
+		return err
+	}
+	const targetCR = 80
+	printHeader(w, "Fig 16: WarpX Ez visual quality at matched CR",
+		"method", "CR", "SSIM", "PSNR")
+	for _, m := range []method{
+		{"SZ3", core.BaselineSZ3Options},
+		{"Ours(SZ3MR)", core.SZ3MROptions},
+	} {
+		eb, err := ebForTargetCR(h, m.opts, targetCR)
+		if err != nil {
+			return err
+		}
+		c, err := core.CompressHierarchy(h, m.opts(eb))
+		if err != nil {
+			return err
+		}
+		g, err := core.Decompress(c.Blob)
+		if err != nil {
+			return err
+		}
+		rec := g.Flatten()
+		fmt.Fprintf(w, "%s\t%.1f\t%.3f\t%.2f\n", m.name, c.Ratio(h),
+			metrics.SSIMCentral(f, rec), metrics.PSNR(f, rec))
+	}
+	return nil
+}
+
+// runTable4 times the in-situ output pipeline (pre-process vs compress +
+// write) for AMRIC stacking vs SZ3MR, at a big and a small error bound.
+func runTable4(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	h, err := nyxT1(cfg)
+	if err != nil {
+		return err
+	}
+	rng := hierarchyRange(h)
+	printHeader(w, "Table IV: output time on Nyx-T1 (seconds)",
+		"EB", "method", "pre-process", "comp+write", "total")
+	tmp, err := os.MkdirTemp("", "mrwf")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	const reps = 5 // repeat the output path for stable small-domain timings
+	for _, eb := range []struct {
+		label string
+		rel   float64
+	}{{"big", 5e-3}, {"small", 2.5e-4}} {
+		for _, m := range []method{
+			{"AMRIC", core.AMRICSZ3Options},
+			{"Ours", core.SZ3MROptions},
+		} {
+			opts := m.opts(eb.rel * rng)
+			var pre, cw time.Duration
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				prep, err := core.Prepare(h, opts)
+				if err != nil {
+					return err
+				}
+				pre += time.Since(t0)
+				t0 = time.Now()
+				c, err := prep.Compress()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(filepath.Join(tmp, "snap.mrw"), c.Blob, 0o644); err != nil {
+					return err
+				}
+				cw += time.Since(t0)
+			}
+			pre /= reps
+			cw /= reps
+			fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%.4f\n", eb.label, m.name,
+				pre.Seconds(), cw.Seconds(), (pre + cw).Seconds())
+		}
+	}
+	return nil
+}
+
+// runTable6 matches four methods at a common CR on Nyx-T2 and reports the
+// maximum and average relative power-spectrum error for k < 10, computed on
+// the flattened reconstruction.
+func runTable6(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	if cfg.Size&(cfg.Size-1) != 0 {
+		return fmt.Errorf("tab6 requires power-of-two size, got %d", cfg.Size)
+	}
+	h, err := nyxT2(cfg)
+	if err != nil {
+		return err
+	}
+	orig := h.Flatten()
+	// Match at an aggressive ratio: the adaptive error bound's advantage
+	// (and the paper's 60–75% spectrum-error reduction) appears in the
+	// high-CR regime (§IV-B); at low CRs padding overhead dominates.
+	const targetCR = 120
+	printHeader(w, "Table VI: power-spectrum error at matched CR (k<10)",
+		"method", "CR", "avg rel err", "max rel err")
+	for _, m := range sz3Methods(true) {
+		if m.name == "Ours(pad)" {
+			continue // the paper's table compares the three baselines vs pad+eb
+		}
+		eb, err := ebForTargetCR(h, m.opts, targetCR)
+		if err != nil {
+			return err
+		}
+		c, err := core.CompressHierarchy(h, m.opts(eb))
+		if err != nil {
+			return err
+		}
+		g, err := core.Decompress(c.Blob)
+		if err != nil {
+			return err
+		}
+		errs := fft.SpectrumRelErrors(orig, g.Flatten(), 9)
+		maxE, avgE := fft.MaxAvg(errs)
+		fmt.Fprintf(w, "%s\t%.1f\t%.2e\t%.2e\n", m.name, c.Ratio(h), avgE, maxE)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

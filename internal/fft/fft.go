@@ -1,0 +1,199 @@
+// Package fft provides a radix-2 complex FFT, a 3D transform built from it,
+// and the radially binned power spectrum P(k) used by the paper's
+// application-specific Nyx analysis (Table VI).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/field"
+)
+
+// FFT computes the in-place forward discrete Fourier transform of x using the
+// iterative radix-2 Cooley–Tukey algorithm. len(x) must be a power of two.
+func FFT(x []complex128) {
+	transform(x, false)
+}
+
+// IFFT computes the in-place inverse DFT (with 1/N normalization).
+func IFFT(x []complex128) {
+	transform(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// FFT3D computes the forward 3D DFT of a real field and returns the complex
+// spectrum in the same row-major layout. All dimensions must be powers of two.
+func FFT3D(f *field.Field) []complex128 {
+	nx, ny, nz := f.Nx, f.Ny, f.Nz
+	for _, n := range []int{nx, ny, nz} {
+		if n&(n-1) != 0 {
+			panic(fmt.Sprintf("fft: dimension %d is not a power of two", n))
+		}
+	}
+	c := make([]complex128, nx*ny*nz)
+	for i, v := range f.Data {
+		c[i] = complex(v, 0)
+	}
+	// Transform along x (contiguous rows).
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			row := c[(z*ny+y)*nx : (z*ny+y+1)*nx]
+			FFT(row)
+		}
+	}
+	// Transform along y.
+	buf := make([]complex128, max3(nx, ny, nz))
+	for z := 0; z < nz; z++ {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				buf[y] = c[x+nx*(y+ny*z)]
+			}
+			FFT(buf[:ny])
+			for y := 0; y < ny; y++ {
+				c[x+nx*(y+ny*z)] = buf[y]
+			}
+		}
+	}
+	// Transform along z.
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			for z := 0; z < nz; z++ {
+				buf[z] = c[x+nx*(y+ny*z)]
+			}
+			FFT(buf[:nz])
+			for z := 0; z < nz; z++ {
+				c[x+nx*(y+ny*z)] = buf[z]
+			}
+		}
+	}
+	return c
+}
+
+// PowerSpectrum computes the radially binned power spectrum of a field:
+// P(k) = mean over modes with |k| in [k, k+1) of |F(k)|²/N², for integer
+// wavenumbers k = 0..kmax. This matches the matter power spectrum diagnostic
+// used for Nyx (up to normalization, which cancels in relative errors).
+func PowerSpectrum(f *field.Field, kmax int) []float64 {
+	c := FFT3D(f)
+	nx, ny, nz := f.Nx, f.Ny, f.Nz
+	norm := float64(f.Len())
+	power := make([]float64, kmax+1)
+	count := make([]int, kmax+1)
+	for z := 0; z < nz; z++ {
+		kz := foldFreq(z, nz)
+		for y := 0; y < ny; y++ {
+			ky := foldFreq(y, ny)
+			for x := 0; x < nx; x++ {
+				kx := foldFreq(x, nx)
+				k := int(math.Round(math.Sqrt(float64(kx*kx + ky*ky + kz*kz))))
+				if k > kmax {
+					continue
+				}
+				v := c[x+nx*(y+ny*z)]
+				p := real(v)*real(v) + imag(v)*imag(v)
+				power[k] += p / (norm * norm)
+				count[k]++
+			}
+		}
+	}
+	for k := range power {
+		if count[k] > 0 {
+			power[k] /= float64(count[k])
+		}
+	}
+	return power
+}
+
+// SpectrumRelErrors returns the per-k relative error |p'(k)-p(k)|/p(k) for
+// k = 1..kmax (k=0 is the mean mode and is excluded, as in the paper's
+// "all k < 10" convention which tracks structure, not the DC offset).
+func SpectrumRelErrors(orig, decomp *field.Field, kmax int) []float64 {
+	p := PowerSpectrum(orig, kmax)
+	q := PowerSpectrum(decomp, kmax)
+	errs := make([]float64, 0, kmax)
+	for k := 1; k <= kmax; k++ {
+		if p[k] == 0 {
+			continue
+		}
+		errs = append(errs, math.Abs(q[k]-p[k])/p[k])
+	}
+	return errs
+}
+
+// MaxAvg returns the maximum and mean of a non-empty slice.
+func MaxAvg(xs []float64) (max, avg float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return max, sum / float64(len(xs))
+}
+
+// foldFreq maps an FFT bin index to its signed frequency.
+func foldFreq(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

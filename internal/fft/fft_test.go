@@ -1,0 +1,176 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+)
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 64)
+	orig := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip error at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTKnownImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse DFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTKnownCosine(t *testing.T) {
+	// cos(2πk₀n/N) has spikes of N/2 at bins k₀ and N−k₀.
+	const n, k0 = 32, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*k0*float64(i)/n), 0)
+	}
+	FFT(x)
+	for k, v := range x {
+		want := 0.0
+		if k == k0 || k == n-k0 {
+			want = n / 2
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Fatalf("|DFT[%d]| = %v, want %v", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Parseval: sum |x|² = (1/N) sum |X|².
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(4))
+		x := make([]complex128, n)
+		e1 := 0.0
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			e1 += real(x[i]) * real(x[i])
+		}
+		FFT(x)
+		e2 := 0.0
+		for _, v := range x {
+			e2 += real(v)*real(v) + imag(v)*imag(v)
+		}
+		e2 /= float64(n)
+		return math.Abs(e1-e2) < 1e-8*(1+e1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFT3DConstantField(t *testing.T) {
+	f := field.New(8, 8, 8)
+	f.Fill(3)
+	c := FFT3D(f)
+	// DC bin = sum of all samples; everything else ~0.
+	if math.Abs(real(c[0])-3*512) > 1e-9 {
+		t.Fatalf("DC bin = %v, want 1536", c[0])
+	}
+	for i := 1; i < len(c); i++ {
+		if cmplx.Abs(c[i]) > 1e-8 {
+			t.Fatalf("non-DC bin %d = %v", i, c[i])
+		}
+	}
+}
+
+func TestPowerSpectrumSingleMode(t *testing.T) {
+	// A pure k=3 mode along x must put all (non-DC) power in the k=3 bin.
+	f := field.New(16, 16, 16)
+	for z := 0; z < 16; z++ {
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 16; x++ {
+				f.Set(x, y, z, math.Cos(2*math.Pi*3*float64(x)/16))
+			}
+		}
+	}
+	p := PowerSpectrum(f, 8)
+	for k := 1; k <= 8; k++ {
+		if k == 3 {
+			if p[k] == 0 {
+				t.Fatal("power at k=3 missing")
+			}
+			continue
+		}
+		if p[k] > 1e-12*p[3] {
+			t.Fatalf("leakage at k=%d: %g vs %g", k, p[k], p[3])
+		}
+	}
+}
+
+func TestSpectrumRelErrorsZeroForIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := field.New(16, 16, 16)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	errs := SpectrumRelErrors(f, f, 9)
+	for _, e := range errs {
+		if e != 0 {
+			t.Fatalf("nonzero relative error %v for identical fields", e)
+		}
+	}
+	if len(errs) != 9 {
+		t.Fatalf("expected 9 k-bins, got %d", len(errs))
+	}
+}
+
+func TestSpectrumRelErrorsGrowWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := field.New(16, 16, 16)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	g := f.Clone()
+	for i := range g.Data {
+		g.Data[i] += 0.3 * rng.NormFloat64()
+	}
+	_, avgSmall := MaxAvg(SpectrumRelErrors(f, f, 9))
+	_, avgBig := MaxAvg(SpectrumRelErrors(f, g, 9))
+	if !(avgBig > avgSmall) {
+		t.Fatalf("spectrum error should grow with noise: %v vs %v", avgBig, avgSmall)
+	}
+}
+
+func TestMaxAvg(t *testing.T) {
+	max, avg := MaxAvg([]float64{1, 3, 2})
+	if max != 3 || avg != 2 {
+		t.Fatalf("MaxAvg = (%v,%v), want (3,2)", max, avg)
+	}
+	max, avg = MaxAvg(nil)
+	if max != 0 || avg != 0 {
+		t.Fatal("MaxAvg of empty must be zero")
+	}
+}

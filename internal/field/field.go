@@ -1,0 +1,357 @@
+// Package field provides the fundamental 3D scalar field type used across
+// the workflow: a dense, row-major (x fastest) array of float64 samples with
+// helpers for block extraction, resampling, and basic statistics.
+//
+// All compressors, layout transforms, and analysis passes in this repository
+// operate on Field values. A Field is deliberately a thin wrapper around a
+// flat []float64 so that hot loops can index f.Data directly.
+package field
+
+import (
+	"fmt"
+	"math"
+)
+
+// Field is a dense 3D scalar field of size Nx×Ny×Nz stored row-major with x
+// varying fastest: Data[x + Nx*(y + Ny*z)].
+type Field struct {
+	Nx, Ny, Nz int
+	Data       []float64
+}
+
+// New allocates a zero-valued field of the given dimensions.
+// It panics if any dimension is non-positive.
+func New(nx, ny, nz int) *Field {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("field: invalid dimensions %dx%dx%d", nx, ny, nz))
+	}
+	return &Field{Nx: nx, Ny: ny, Nz: nz, Data: make([]float64, nx*ny*nz)}
+}
+
+// FromData wraps an existing slice as a field. The slice length must equal
+// nx*ny*nz; the field aliases the slice (no copy).
+func FromData(nx, ny, nz int, data []float64) (*Field, error) {
+	if len(data) != nx*ny*nz {
+		return nil, fmt.Errorf("field: data length %d does not match %dx%dx%d", len(data), nx, ny, nz)
+	}
+	return &Field{Nx: nx, Ny: ny, Nz: nz, Data: data}, nil
+}
+
+// Len returns the total number of samples.
+func (f *Field) Len() int { return f.Nx * f.Ny * f.Nz }
+
+// Bytes returns the uncompressed size in bytes (8 bytes per sample).
+func (f *Field) Bytes() int { return f.Len() * 8 }
+
+// Index returns the flat index of (x, y, z).
+func (f *Field) Index(x, y, z int) int { return x + f.Nx*(y+f.Ny*z) }
+
+// At returns the sample at (x, y, z).
+func (f *Field) At(x, y, z int) float64 { return f.Data[x+f.Nx*(y+f.Ny*z)] }
+
+// Set stores v at (x, y, z).
+func (f *Field) Set(x, y, z int, v float64) { f.Data[x+f.Nx*(y+f.Ny*z)] = v }
+
+// Clone returns a deep copy of the field.
+func (f *Field) Clone() *Field {
+	g := New(f.Nx, f.Ny, f.Nz)
+	copy(g.Data, f.Data)
+	return g
+}
+
+// SameShape reports whether g has identical dimensions.
+func (f *Field) SameShape(g *Field) bool {
+	return f.Nx == g.Nx && f.Ny == g.Ny && f.Nz == g.Nz
+}
+
+// Range returns the minimum and maximum sample values. For an empty field it
+// returns (0, 0); NaNs are ignored unless all samples are NaN.
+func (f *Field) Range() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range f.Data {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(min, 1) { // empty or all NaN
+		return 0, 0
+	}
+	return min, max
+}
+
+// ValueRange returns max-min, the "range" statistic used by the ROI selector.
+func (f *Field) ValueRange() float64 {
+	min, max := f.Range()
+	return max - min
+}
+
+// Mean returns the arithmetic mean of all samples.
+func (f *Field) Mean() float64 {
+	if f.Len() == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range f.Data {
+		s += v
+	}
+	return s / float64(f.Len())
+}
+
+// Variance returns the population variance of all samples.
+func (f *Field) Variance() float64 {
+	n := f.Len()
+	if n == 0 {
+		return 0
+	}
+	m := f.Mean()
+	s := 0.0
+	for _, v := range f.Data {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// SubBlock copies the region of size (bx,by,bz) anchored at (x0,y0,z0) into a
+// new field. The region is clamped to the field bounds; the returned block
+// has the clamped dimensions.
+func (f *Field) SubBlock(x0, y0, z0, bx, by, bz int) *Field {
+	if x0 < 0 || y0 < 0 || z0 < 0 {
+		panic("field: negative block origin")
+	}
+	cx := minInt(bx, f.Nx-x0)
+	cy := minInt(by, f.Ny-y0)
+	cz := minInt(bz, f.Nz-z0)
+	if cx <= 0 || cy <= 0 || cz <= 0 {
+		panic(fmt.Sprintf("field: block origin (%d,%d,%d) outside field %dx%dx%d", x0, y0, z0, f.Nx, f.Ny, f.Nz))
+	}
+	b := New(cx, cy, cz)
+	for z := 0; z < cz; z++ {
+		for y := 0; y < cy; y++ {
+			src := f.Index(x0, y0+y, z0+z)
+			dst := b.Index(0, y, z)
+			copy(b.Data[dst:dst+cx], f.Data[src:src+cx])
+		}
+	}
+	return b
+}
+
+// SetBlock writes block b into the field anchored at (x0,y0,z0). The block
+// must fit entirely inside the field.
+func (f *Field) SetBlock(x0, y0, z0 int, b *Field) {
+	if x0+b.Nx > f.Nx || y0+b.Ny > f.Ny || z0+b.Nz > f.Nz || x0 < 0 || y0 < 0 || z0 < 0 {
+		panic(fmt.Sprintf("field: block %dx%dx%d at (%d,%d,%d) does not fit in %dx%dx%d",
+			b.Nx, b.Ny, b.Nz, x0, y0, z0, f.Nx, f.Ny, f.Nz))
+	}
+	for z := 0; z < b.Nz; z++ {
+		for y := 0; y < b.Ny; y++ {
+			src := b.Index(0, y, z)
+			dst := f.Index(x0, y0+y, z0+z)
+			copy(f.Data[dst:dst+b.Nx], b.Data[src:src+b.Nx])
+		}
+	}
+}
+
+// Downsample2 returns a field of half resolution per axis (ceil division)
+// where each coarse sample is the mean of its (up to) 2×2×2 fine children.
+// This is the restriction operator used for non-ROI regions and for building
+// coarse AMR levels from fine data.
+func (f *Field) Downsample2() *Field {
+	nx := (f.Nx + 1) / 2
+	ny := (f.Ny + 1) / 2
+	nz := (f.Nz + 1) / 2
+	g := New(nx, ny, nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				sum, n := 0.0, 0
+				for dz := 0; dz < 2; dz++ {
+					fz := 2*z + dz
+					if fz >= f.Nz {
+						continue
+					}
+					for dy := 0; dy < 2; dy++ {
+						fy := 2*y + dy
+						if fy >= f.Ny {
+							continue
+						}
+						for dx := 0; dx < 2; dx++ {
+							fx := 2*x + dx
+							if fx >= f.Nx {
+								continue
+							}
+							sum += f.At(fx, fy, fz)
+							n++
+						}
+					}
+				}
+				g.Set(x, y, z, sum/float64(n))
+			}
+		}
+	}
+	return g
+}
+
+// Upsample2 returns a field of exactly (nx,ny,nz) samples reconstructed from
+// f by trilinear interpolation, where f is treated as a 2×-coarse version
+// (cell-centred). It is the prolongation operator matching Downsample2.
+func (f *Field) Upsample2(nx, ny, nz int) *Field {
+	g := New(nx, ny, nz)
+	// Map fine coordinate x to coarse sample space: coarse sample i covers
+	// fine samples 2i and 2i+1, so fine x corresponds to coarse (x-0.5)/2.
+	for z := 0; z < nz; z++ {
+		cz, wz := splitCoord(z, f.Nz)
+		for y := 0; y < ny; y++ {
+			cy, wy := splitCoord(y, f.Ny)
+			for x := 0; x < nx; x++ {
+				cx, wx := splitCoord(x, f.Nx)
+				v := 0.0
+				for dz := 0; dz < 2; dz++ {
+					pz := clampInt(cz+dz, 0, f.Nz-1)
+					fz := lerpWeight(wz, dz)
+					for dy := 0; dy < 2; dy++ {
+						py := clampInt(cy+dy, 0, f.Ny-1)
+						fy := lerpWeight(wy, dy)
+						for dx := 0; dx < 2; dx++ {
+							px := clampInt(cx+dx, 0, f.Nx-1)
+							fx := lerpWeight(wx, dx)
+							v += f.At(px, py, pz) * fx * fy * fz
+						}
+					}
+				}
+				g.Set(x, y, z, v)
+			}
+		}
+	}
+	return g
+}
+
+// UpsampleNearest returns a field of (nx,ny,nz) samples where each fine
+// sample copies its covering coarse sample (piecewise-constant prolongation).
+func (f *Field) UpsampleNearest(nx, ny, nz int) *Field {
+	g := New(nx, ny, nz)
+	for z := 0; z < nz; z++ {
+		cz := clampInt(z/2, 0, f.Nz-1)
+		for y := 0; y < ny; y++ {
+			cy := clampInt(y/2, 0, f.Ny-1)
+			for x := 0; x < nx; x++ {
+				cx := clampInt(x/2, 0, f.Nx-1)
+				g.Set(x, y, z, f.At(cx, cy, cz))
+			}
+		}
+	}
+	return g
+}
+
+// splitCoord maps a fine coordinate to the coarse base index and the
+// fractional weight toward the next coarse sample, for cell-centred 2×
+// coarsening.
+func splitCoord(fine, ncoarse int) (base int, frac float64) {
+	c := (float64(fine) - 0.5) / 2.0
+	base = int(math.Floor(c))
+	frac = c - float64(base)
+	if base < 0 {
+		base, frac = 0, 0
+	}
+	if base >= ncoarse-1 {
+		base, frac = ncoarse-1, 0
+	}
+	return base, frac
+}
+
+func lerpWeight(frac float64, d int) float64 {
+	if d == 0 {
+		return 1 - frac
+	}
+	return frac
+}
+
+// SliceZ extracts the 2D slice at depth z as a Nx×Ny×1 field.
+func (f *Field) SliceZ(z int) *Field {
+	if z < 0 || z >= f.Nz {
+		panic(fmt.Sprintf("field: slice z=%d out of range [0,%d)", z, f.Nz))
+	}
+	s := New(f.Nx, f.Ny, 1)
+	copy(s.Data, f.Data[z*f.Nx*f.Ny:(z+1)*f.Nx*f.Ny])
+	return s
+}
+
+// Fill sets every sample to v.
+func (f *Field) Fill(v float64) {
+	for i := range f.Data {
+		f.Data[i] = v
+	}
+}
+
+// Apply replaces every sample x with fn(x).
+func (f *Field) Apply(fn func(float64) float64) {
+	for i, v := range f.Data {
+		f.Data[i] = fn(v)
+	}
+}
+
+// AddScaled adds s*g to f in place. The fields must have the same shape.
+func (f *Field) AddScaled(s float64, g *Field) {
+	if !f.SameShape(g) {
+		panic("field: AddScaled shape mismatch")
+	}
+	for i := range f.Data {
+		f.Data[i] += s * g.Data[i]
+	}
+}
+
+// Equal reports whether two fields have identical shape and bit-identical
+// sample values.
+func (f *Field) Equal(g *Field) bool {
+	if !f.SameShape(g) {
+		return false
+	}
+	for i, v := range f.Data {
+		if v != g.Data[i] && !(math.IsNaN(v) && math.IsNaN(g.Data[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the L∞ distance between two same-shaped fields.
+func (f *Field) MaxAbsDiff(g *Field) float64 {
+	if !f.SameShape(g) {
+		panic("field: MaxAbsDiff shape mismatch")
+	}
+	m := 0.0
+	for i, v := range f.Data {
+		d := math.Abs(v - g.Data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func (f *Field) String() string {
+	return fmt.Sprintf("Field(%dx%dx%d)", f.Nx, f.Ny, f.Nz)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,88 @@
+package field
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary container for raw fields: a 24-byte header (three little-endian
+// int64 dimensions) followed by Nx*Ny*Nz little-endian float64 samples.
+// cmd/mrcompress and the examples use this as the on-disk "simulation output"
+// format.
+
+const headerSize = 24
+
+// WriteTo serializes the field to w in the raw binary format.
+func (f *Field) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(f.Nx))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(f.Ny))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(f.Nz))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	var buf [8]byte
+	for _, v := range f.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return 0, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return int64(headerSize + 8*len(f.Data)), nil
+}
+
+// ReadFrom deserializes a field written by WriteTo.
+func ReadFrom(r io.Reader) (*Field, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("field: reading header: %w", err)
+	}
+	nx := int(binary.LittleEndian.Uint64(hdr[0:]))
+	ny := int(binary.LittleEndian.Uint64(hdr[8:]))
+	nz := int(binary.LittleEndian.Uint64(hdr[16:]))
+	const maxSamples = 1 << 33 // 64 GiB of float64, sanity cap
+	if nx <= 0 || ny <= 0 || nz <= 0 || int64(nx)*int64(ny)*int64(nz) > maxSamples {
+		return nil, fmt.Errorf("field: invalid dimensions %dx%dx%d", nx, ny, nz)
+	}
+	f := New(nx, ny, nz)
+	var buf [8]byte
+	for i := range f.Data {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("field: reading sample %d: %w", i, err)
+		}
+		f.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return f, nil
+}
+
+// Save writes the field to the named file.
+func (f *Field) Save(path string) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := f.WriteTo(w); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Load reads a field from the named file.
+func Load(path string) (*Field, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return ReadFrom(r)
+}

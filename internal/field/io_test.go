@@ -1,0 +1,68 @@
+package field
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readFilePrefix(path string, n int) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	return data[:n], nil
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := New(7, 5, 3)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	path := filepath.Join(t.TempDir(), "field.bin")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatal("Save/Load round trip not exact")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.bin")
+	f := New(4, 4, 4)
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file below the declared payload.
+	data, err := readFilePrefix(path, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(t.TempDir(), "short.bin")
+	if err := writeFile(short, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(short); err == nil {
+		t.Fatal("expected error for truncated file")
+	}
+}

@@ -1,0 +1,166 @@
+package halo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/synth"
+)
+
+// blobField places Gaussian blobs of the given integer centers and
+// amplitude on a unit background.
+func blobField(n int, centers [][3]int, amp float64) *field.Field {
+	f := field.New(n, n, n)
+	f.Fill(1)
+	for _, c := range centers {
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					dx, dy, dz := float64(x-c[0]), float64(y-c[1]), float64(z-c[2])
+					f.Data[f.Index(x, y, z)] += amp * math.Exp(-(dx*dx+dy*dy+dz*dz)/8)
+				}
+			}
+		}
+	}
+	return f
+}
+
+func TestFindIsolatedBlobs(t *testing.T) {
+	centers := [][3]int{{8, 8, 8}, {24, 24, 24}, {8, 24, 8}}
+	f := blobField(32, centers, 50)
+	halos := Find(f, Options{})
+	if len(halos) != len(centers) {
+		t.Fatalf("found %d halos, want %d", len(halos), len(centers))
+	}
+	// Each center must be close to one found center.
+	for _, c := range centers {
+		ok := false
+		for _, h := range halos {
+			d := math.Hypot(math.Hypot(h.CX-float64(c[0]), h.CY-float64(c[1])), h.CZ-float64(c[2]))
+			if d < 1.5 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("center %v not recovered: %+v", c, halos)
+		}
+	}
+}
+
+func TestFindSortedByMass(t *testing.T) {
+	f := blobField(32, [][3]int{{8, 8, 8}}, 100)
+	g := blobField(32, [][3]int{{24, 24, 24}}, 30)
+	f.AddScaled(1, g)
+	f.AddScaled(-1, fieldOnes(32)) // keep background at 1 after the add
+	halos := Find(f, Options{})
+	if len(halos) < 2 {
+		t.Fatalf("found %d halos", len(halos))
+	}
+	if halos[0].Mass < halos[1].Mass {
+		t.Fatal("catalog not sorted by mass")
+	}
+	// The most massive must be the amp-100 blob at (8,8,8).
+	if math.Abs(halos[0].CX-8) > 1.5 {
+		t.Fatalf("wrong primary halo at (%g,%g,%g)", halos[0].CX, halos[0].CY, halos[0].CZ)
+	}
+}
+
+func fieldOnes(n int) *field.Field {
+	f := field.New(n, n, n)
+	f.Fill(1)
+	return f
+}
+
+func TestMinVoxelsFilters(t *testing.T) {
+	f := field.New(16, 16, 16)
+	f.Fill(1)
+	f.Set(8, 8, 8, 1000) // single hot voxel
+	if halos := Find(f, Options{MinVoxels: 8}); len(halos) != 0 {
+		t.Fatalf("single voxel passed MinVoxels=8: %+v", halos)
+	}
+	if halos := Find(f, Options{MinVoxels: 1}); len(halos) != 1 {
+		t.Fatal("single voxel not found with MinVoxels=1")
+	}
+}
+
+func TestTouchingBlobsMerge(t *testing.T) {
+	// Two blobs close enough to overlap above threshold → one halo.
+	f := blobField(32, [][3]int{{14, 16, 16}, {18, 16, 16}}, 50)
+	halos := Find(f, Options{})
+	if len(halos) != 1 {
+		t.Fatalf("overlapping blobs gave %d halos", len(halos))
+	}
+	if math.Abs(halos[0].CX-16) > 1 {
+		t.Fatalf("merged center at %g, want ~16", halos[0].CX)
+	}
+}
+
+func TestUniformFieldNoHalos(t *testing.T) {
+	f := field.New(16, 16, 16)
+	f.Fill(5)
+	if halos := Find(f, Options{}); len(halos) != 0 {
+		t.Fatalf("uniform field produced %d halos", len(halos))
+	}
+}
+
+func TestCompareIdenticalCatalogs(t *testing.T) {
+	f := synth.Generate(synth.Nyx, 48, 3)
+	cat := Find(f, Options{})
+	if len(cat) == 0 {
+		t.Skip("no halos at this seed")
+	}
+	d := Compare(cat, cat, 2)
+	if d.Matched != len(cat) || d.MassErr != 0 || d.CenterDist != 0 {
+		t.Fatalf("self-compare diff %+v", d)
+	}
+	if d.MatchRate() != 1 {
+		t.Fatal("match rate != 1")
+	}
+}
+
+func TestComparePerturbedCatalog(t *testing.T) {
+	orig := []Halo{{Mass: 100, CX: 10, CY: 10, CZ: 10}, {Mass: 50, CX: 30, CY: 30, CZ: 30}}
+	dec := []Halo{{Mass: 90, CX: 10.5, CY: 10, CZ: 10}} // second halo lost
+	d := Compare(orig, dec, 2)
+	if d.Matched != 1 {
+		t.Fatalf("matched %d, want 1", d.Matched)
+	}
+	if math.Abs(d.MassErr-0.1) > 1e-12 {
+		t.Fatalf("mass err %g, want 0.1", d.MassErr)
+	}
+	if math.Abs(d.CenterDist-0.5) > 1e-12 {
+		t.Fatalf("center dist %g, want 0.5", d.CenterDist)
+	}
+	if d.MatchRate() != 0.5 {
+		t.Fatalf("match rate %g", d.MatchRate())
+	}
+}
+
+func TestCompareEmptyOriginal(t *testing.T) {
+	if r := (CatalogDiff{}).MatchRate(); r != 1 {
+		t.Fatalf("empty original match rate %g", r)
+	}
+}
+
+func TestNyxHalosSurviveMildCompressionNoise(t *testing.T) {
+	// Halo catalogs must be robust to error-bound-scale perturbations.
+	f := synth.Generate(synth.Nyx, 48, 4)
+	cat := Find(f, Options{})
+	if len(cat) < 3 {
+		t.Skip("too few halos")
+	}
+	g := f.Clone()
+	eb := f.ValueRange() * 1e-3
+	for i := range g.Data {
+		if i%2 == 0 {
+			g.Data[i] += eb
+		} else {
+			g.Data[i] -= eb
+		}
+	}
+	d := Compare(cat, Find(g, Options{}), 2)
+	if d.MatchRate() < 0.9 {
+		t.Fatalf("halos lost under eb-scale noise: rate %.2f", d.MatchRate())
+	}
+}

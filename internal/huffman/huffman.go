@@ -1,0 +1,298 @@
+// Package huffman implements a canonical Huffman coder for the integer
+// quantization codes produced by the error-bounded compressors, mirroring the
+// entropy stage of SZ. The encoded stream is self-describing: it carries the
+// symbol dictionary and canonical code lengths, followed by the bit stream.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// maxCodeLen bounds canonical code lengths so codes fit comfortably in a
+// uint64. If the Huffman tree is deeper, frequencies are flattened and the
+// tree rebuilt.
+const maxCodeLen = 57
+
+type node struct {
+	freq        uint64
+	symbol      int32 // valid for leaves
+	left, right int   // child indices, -1 for leaves
+}
+
+type nodeHeap struct {
+	nodes []node
+	order []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.order) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := h.nodes[h.order[i]], h.nodes[h.order[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return h.order[i] < h.order[j] // deterministic tie-break
+}
+func (h *nodeHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *nodeHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
+func (h *nodeHeap) Pop() any {
+	old := h.order
+	n := len(old)
+	x := old[n-1]
+	h.order = old[:n-1]
+	return x
+}
+
+// codeLengths computes Huffman code lengths for the given symbol frequencies,
+// flattening frequencies if the depth would exceed maxCodeLen.
+func codeLengths(symbols []int32, freqs []uint64) []int {
+	for {
+		lengths := buildLengths(symbols, freqs)
+		maxLen := 0
+		for _, l := range lengths {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen <= maxCodeLen {
+			return lengths
+		}
+		// Flatten the distribution and retry; this terminates because all
+		// frequencies converge toward 1, giving a balanced tree.
+		for i := range freqs {
+			freqs[i] = freqs[i]/2 + 1
+		}
+	}
+}
+
+func buildLengths(symbols []int32, freqs []uint64) []int {
+	n := len(symbols)
+	if n == 1 {
+		return []int{1}
+	}
+	nodes := make([]node, 0, 2*n)
+	h := &nodeHeap{nodes: nil}
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, node{freq: freqs[i], symbol: symbols[i], left: -1, right: -1})
+	}
+	h.nodes = nodes
+	h.order = make([]int, n)
+	for i := range h.order {
+		h.order[i] = i
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		h.nodes = append(h.nodes, node{freq: h.nodes[a].freq + h.nodes[b].freq, left: a, right: b})
+		heap.Push(h, len(h.nodes)-1)
+	}
+	root := h.order[0]
+	lengths := make([]int, n)
+	// Iterative DFS assigning depths to leaves.
+	type frame struct{ idx, depth int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := h.nodes[fr.idx]
+		if nd.left == -1 {
+			// Leaf: find its position. Leaves are the first n nodes in order.
+			lengths[fr.idx] = fr.depth
+			continue
+		}
+		stack = append(stack, frame{nd.left, fr.depth + 1}, frame{nd.right, fr.depth + 1})
+	}
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes given symbols sorted by (length,
+// symbol). Returns code values aligned with the sorted order.
+func canonicalCodes(lengths []int) []uint64 {
+	codes := make([]uint64, len(lengths))
+	var code uint64
+	prevLen := 0
+	for i, l := range lengths {
+		code <<= uint(l - prevLen)
+		codes[i] = code
+		code++
+		prevLen = l
+	}
+	return codes
+}
+
+// Encode compresses a sequence of int32 symbols. The output is
+// self-describing and decoded by Decode.
+func Encode(data []int32) []byte {
+	// Histogram.
+	freq := make(map[int32]uint64)
+	for _, v := range data {
+		freq[v]++
+	}
+	symbols := make([]int32, 0, len(freq))
+	for s := range freq {
+		symbols = append(symbols, s)
+	}
+	sort.Slice(symbols, func(i, j int) bool { return symbols[i] < symbols[j] })
+
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(data)))
+	out = binary.AppendUvarint(out, uint64(len(symbols)))
+	if len(data) == 0 {
+		return out
+	}
+
+	freqs := make([]uint64, len(symbols))
+	for i, s := range symbols {
+		freqs[i] = freq[s]
+	}
+	lengths := codeLengths(symbols, freqs)
+
+	// Sort symbols canonically: by (length, symbol value).
+	type sym struct {
+		s int32
+		l int
+	}
+	ss := make([]sym, len(symbols))
+	for i := range symbols {
+		ss[i] = sym{symbols[i], lengths[i]}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].l != ss[j].l {
+			return ss[i].l < ss[j].l
+		}
+		return ss[i].s < ss[j].s
+	})
+	sortedLens := make([]int, len(ss))
+	for i := range ss {
+		sortedLens[i] = ss[i].l
+	}
+	codes := canonicalCodes(sortedLens)
+
+	// Serialize dictionary: symbols (zigzag delta) + lengths.
+	prev := int64(0)
+	for _, e := range ss {
+		delta := int64(e.s) - prev
+		out = binary.AppendVarint(out, delta)
+		prev = int64(e.s)
+		out = append(out, byte(e.l))
+	}
+
+	// Build lookup and emit the bit stream.
+	codeOf := make(map[int32]struct {
+		code uint64
+		len  uint
+	}, len(ss))
+	for i, e := range ss {
+		codeOf[e.s] = struct {
+			code uint64
+			len  uint
+		}{codes[i], uint(e.l)}
+	}
+	bw := bitio.NewWriter()
+	for _, v := range data {
+		c := codeOf[v]
+		bw.WriteBits(c.code, c.len)
+	}
+	return append(out, bw.Bytes()...)
+}
+
+// Decode reverses Encode.
+func Decode(buf []byte) ([]int32, error) {
+	n, k, err := readHeader(&buf)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return []int32{}, nil
+	}
+	if k == 0 {
+		return nil, errors.New("huffman: zero symbols for nonzero data")
+	}
+	syms := make([]int32, k)
+	lens := make([]int, k)
+	prev := int64(0)
+	for i := 0; i < k; i++ {
+		delta, m := binary.Varint(buf)
+		if m <= 0 {
+			return nil, errors.New("huffman: truncated dictionary")
+		}
+		buf = buf[m:]
+		prev += delta
+		syms[i] = int32(prev)
+		if len(buf) == 0 {
+			return nil, errors.New("huffman: truncated lengths")
+		}
+		lens[i] = int(buf[0])
+		if lens[i] == 0 || lens[i] > maxCodeLen+1 {
+			return nil, fmt.Errorf("huffman: invalid code length %d", lens[i])
+		}
+		buf = buf[1:]
+	}
+	// Dictionary must be sorted by (length, symbol) for canonical decode.
+	for i := 1; i < k; i++ {
+		if lens[i] < lens[i-1] {
+			return nil, errors.New("huffman: dictionary not canonical")
+		}
+	}
+	codes := canonicalCodes(lens)
+
+	// Canonical decoding: per length, the first code and symbol index.
+	maxLen := lens[k-1]
+	firstCode := make([]uint64, maxLen+2)
+	firstIdx := make([]int, maxLen+2)
+	countAt := make([]int, maxLen+2)
+	for i := 0; i < k; i++ {
+		if countAt[lens[i]] == 0 {
+			firstCode[lens[i]] = codes[i]
+			firstIdx[lens[i]] = i
+		}
+		countAt[lens[i]]++
+	}
+
+	br := bitio.NewReader(buf)
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		var code uint64
+		l := 0
+		for {
+			b, err := br.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, err)
+			}
+			code = code<<1 | uint64(b)
+			l++
+			if l > maxLen {
+				return nil, errors.New("huffman: invalid code in stream")
+			}
+			if countAt[l] > 0 && code >= firstCode[l] && code < firstCode[l]+uint64(countAt[l]) {
+				out[i] = syms[firstIdx[l]+int(code-firstCode[l])]
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func readHeader(buf *[]byte) (n, k int, err error) {
+	un, m := binary.Uvarint(*buf)
+	if m <= 0 {
+		return 0, 0, errors.New("huffman: truncated header")
+	}
+	*buf = (*buf)[m:]
+	uk, m := binary.Uvarint(*buf)
+	if m <= 0 {
+		return 0, 0, errors.New("huffman: truncated header")
+	}
+	*buf = (*buf)[m:]
+	const maxN = 1 << 33
+	if un > maxN || uk > un+1 {
+		return 0, 0, fmt.Errorf("huffman: implausible header n=%d k=%d", un, uk)
+	}
+	return int(un), int(uk), nil
+}

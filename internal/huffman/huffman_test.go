@@ -1,0 +1,123 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []int32) {
+	t.Helper()
+	enc := Encode(data)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec) != len(data) {
+		t.Fatalf("length %d, want %d", len(dec), len(data))
+	}
+	for i := range data {
+		if dec[i] != data[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, dec[i], data[i])
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) { roundTrip(t, []int32{}) }
+
+func TestSingleSymbol(t *testing.T) {
+	roundTrip(t, []int32{7})
+	roundTrip(t, []int32{7, 7, 7, 7, 7})
+}
+
+func TestTwoSymbols(t *testing.T) {
+	roundTrip(t, []int32{1, 2, 1, 1, 2, 1})
+}
+
+func TestNegativeSymbols(t *testing.T) {
+	roundTrip(t, []int32{-5, 3, -5, 0, 1 << 30, -(1 << 30)})
+}
+
+func TestGeometricDistribution(t *testing.T) {
+	// Quantization codes cluster around a center; mimic that.
+	rng := rand.New(rand.NewSource(1))
+	data := make([]int32, 20000)
+	for i := range data {
+		data[i] = 32768 + int32(rng.NormFloat64()*3)
+	}
+	enc := Encode(data)
+	roundTrip(t, data)
+	// Entropy of this distribution is ~3.3 bits; Huffman should get well
+	// below the 32 bits/symbol raw size.
+	if len(enc)*8 > len(data)*6 {
+		t.Fatalf("poor compression: %d bits for %d symbols", len(enc)*8, len(data))
+	}
+}
+
+func TestSkewedDistributionDepthLimit(t *testing.T) {
+	// Fibonacci-like frequencies create maximal tree depth; ensure the
+	// length-limited fallback still round-trips.
+	var data []int32
+	f1, f2 := 1, 1
+	for s := int32(0); s < 40; s++ {
+		for i := 0; i < f1 && len(data) < 300000; i++ {
+			data = append(data, s)
+		}
+		f1, f2 = f2, f1+f2
+		if f1 > 100000 {
+			f1 = 100000
+		}
+	}
+	roundTrip(t, data)
+}
+
+func TestUniformLargeAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]int32, 5000)
+	for i := range data {
+		data[i] = int32(rng.Intn(1000))
+	}
+	roundTrip(t, data)
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("expected error for empty buffer")
+	}
+	if _, err := Decode([]byte{0xFF}); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	// Valid encode, then truncate the bit stream.
+	enc := Encode([]int32{1, 2, 3, 4, 5, 6, 7, 8})
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(data []int32) bool {
+		enc := Encode(data)
+		dec, err := Decode(enc)
+		if err != nil || len(dec) != len(data) {
+			return false
+		}
+		for i := range data {
+			if dec[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	data := []int32{5, 2, 9, 2, 5, 5, 1}
+	a := Encode(data)
+	b := Encode(data)
+	if string(a) != string(b) {
+		t.Fatal("encoding not deterministic")
+	}
+}

@@ -1,0 +1,61 @@
+package layout
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestHZOrderCoarseFirst verifies the defining property of HZ ordering used
+// by IDX-style multi-resolution storage: all points of a coarser resolution
+// level (more trailing zeros in the Morton code) precede every point of any
+// finer level, so a prefix read of an HZ-ordered file yields a complete
+// coarse version of the data.
+func TestHZOrderCoarseFirst(t *testing.T) {
+	const maxBits = 9 // 8³ domain
+	levelOf := func(m uint64) int {
+		if m == 0 {
+			return 0
+		}
+		return maxBits - bits.TrailingZeros64(m)
+	}
+	for a := uint64(0); a < 512; a++ {
+		for b := a + 1; b < 512; b += 37 { // sampled pairs for speed
+			la, lb := levelOf(a), levelOf(b)
+			ha, hb := HZIndex(a, maxBits), HZIndex(b, maxBits)
+			if la < lb && ha >= hb {
+				t.Fatalf("coarser point (m=%d, level %d, hz %d) not before finer (m=%d, level %d, hz %d)",
+					a, la, ha, b, lb, hb)
+			}
+			if lb < la && hb >= ha {
+				t.Fatalf("coarser point (m=%d, level %d, hz %d) not before finer (m=%d, level %d, hz %d)",
+					b, lb, hb, a, la, ha)
+			}
+		}
+	}
+}
+
+// TestHZLevelSizes checks that HZ level l (l ≥ 1) occupies exactly the index
+// range [2^(l−1), 2^l) — each level doubles the resolution.
+func TestHZLevelSizes(t *testing.T) {
+	const maxBits = 6 // 4³ domain = 64 points
+	counts := make(map[uint64]int)
+	for m := uint64(0); m < 64; m++ {
+		hz := HZIndex(m, maxBits)
+		level := uint64(0)
+		for l := uint(1); l <= maxBits; l++ {
+			if hz >= 1<<(l-1) && hz < 1<<l {
+				level = uint64(l)
+			}
+		}
+		counts[level]++
+	}
+	// Level 0 holds only hz index 0 (one point); level l holds 2^(l−1).
+	if counts[0] != 1 {
+		t.Fatalf("level 0 count %d", counts[0])
+	}
+	for l := uint64(1); l <= maxBits; l++ {
+		if counts[l] != 1<<(l-1) {
+			t.Fatalf("level %d count %d, want %d", l, counts[l], 1<<(l-1))
+		}
+	}
+}

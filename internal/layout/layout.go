@@ -1,0 +1,412 @@
+// Package layout implements the spatial arrangements the paper compares for
+// compressing the unit blocks of a multi-resolution level (§III-A, Fig. 6):
+//
+//   - Linear merge (the baseline the paper builds on): unit blocks
+//     concatenated along z into a u×u×(u·k) array.
+//   - Stack merge (AMRIC): unit blocks stacked into a near-cubic
+//     arrangement, which balances dimensions but adjoins non-neighboring
+//     blocks, creating unsmooth internal boundaries.
+//   - TAC partition: greedy merging of adjacent owned blocks into maximal
+//     rectangular boxes, preserving locality but producing variable shapes
+//     that must be compressed separately.
+//
+// It also provides the paper's padding operator (one extrapolated layer on
+// each of the two small dimensions of a linear merge, §III-A Improvement 1)
+// and Z-order/HZ-order curves used by the zMesh- and Kumar-style baselines.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// Merged is a level's unit blocks arranged into a single array.
+type Merged struct {
+	// Data is the merged array.
+	Data *field.Field
+	// U is the unit block edge.
+	U int
+	// Blocks lists the block coordinates in merge order.
+	Blocks [][3]int
+}
+
+// LinearMerge concatenates the owned unit blocks of hierarchy level l along
+// the z axis: the result is u×u×(u·k) for k owned blocks. Blocks appear in
+// raster order, so blocks adjacent along z in the domain often remain
+// adjacent in the merge.
+func LinearMerge(h *grid.Hierarchy, level int) *Merged {
+	u := h.UnitBlockSize(level)
+	blocks := h.OwnedBlocks(level)
+	k := len(blocks)
+	if k == 0 {
+		return &Merged{Data: nil, U: u}
+	}
+	out := field.New(u, u, u*k)
+	for i, bc := range blocks {
+		b := h.BlockField(level, bc[0], bc[1], bc[2])
+		out.SetBlock(0, 0, i*u, b)
+	}
+	return &Merged{Data: out, U: u, Blocks: blocks}
+}
+
+// LinearUnmerge writes the merged blocks back into hierarchy level l,
+// setting ownership accordingly.
+func LinearUnmerge(m *Merged, h *grid.Hierarchy, level int) error {
+	u := h.UnitBlockSize(level)
+	if m.U != u {
+		return fmt.Errorf("layout: unit size %d != level unit size %d", m.U, u)
+	}
+	if m.Data == nil {
+		return nil
+	}
+	if m.Data.Nx != u || m.Data.Ny != u || m.Data.Nz != u*len(m.Blocks) {
+		return fmt.Errorf("layout: merged shape %v inconsistent with %d blocks of u=%d", m.Data, len(m.Blocks), u)
+	}
+	lv := h.Levels[level]
+	for i, bc := range m.Blocks {
+		b := m.Data.SubBlock(0, 0, i*u, u, u, u)
+		lv.Data.SetBlock(bc[0]*u, bc[1]*u, bc[2]*u, b)
+		lv.Owned[h.BlockIndex(bc[0], bc[1], bc[2])] = true
+	}
+	return nil
+}
+
+// StackMerge arranges the owned unit blocks of a level into an m×m×m cubic
+// grid of slots (m = ⌈k^(1/3)⌉), the AMRIC approach. Slots beyond the k real
+// blocks are filled with a copy of the final block so the array stays
+// well-defined; the decoder discards them.
+func StackMerge(h *grid.Hierarchy, level int) *Merged {
+	u := h.UnitBlockSize(level)
+	blocks := h.OwnedBlocks(level)
+	k := len(blocks)
+	if k == 0 {
+		return &Merged{Data: nil, U: u}
+	}
+	m := int(math.Ceil(math.Cbrt(float64(k))))
+	out := field.New(u*m, u*m, u*m)
+	var last *field.Field
+	slot := 0
+	for sz := 0; sz < m; sz++ {
+		for sy := 0; sy < m; sy++ {
+			for sx := 0; sx < m; sx++ {
+				var b *field.Field
+				if slot < k {
+					bc := blocks[slot]
+					b = h.BlockField(level, bc[0], bc[1], bc[2])
+					last = b
+				} else {
+					b = last
+				}
+				out.SetBlock(sx*u, sy*u, sz*u, b)
+				slot++
+			}
+		}
+	}
+	return &Merged{Data: out, U: u, Blocks: blocks}
+}
+
+// StackUnmerge reverses StackMerge.
+func StackUnmerge(m *Merged, h *grid.Hierarchy, level int) error {
+	u := h.UnitBlockSize(level)
+	if m.U != u {
+		return fmt.Errorf("layout: unit size %d != level unit size %d", m.U, u)
+	}
+	if m.Data == nil {
+		return nil
+	}
+	k := len(m.Blocks)
+	mm := int(math.Ceil(math.Cbrt(float64(k))))
+	if m.Data.Nx != u*mm || m.Data.Ny != u*mm || m.Data.Nz != u*mm {
+		return fmt.Errorf("layout: stacked shape %v inconsistent with k=%d u=%d", m.Data, k, u)
+	}
+	lv := h.Levels[level]
+	slot := 0
+	for sz := 0; sz < mm; sz++ {
+		for sy := 0; sy < mm; sy++ {
+			for sx := 0; sx < mm; sx++ {
+				if slot >= k {
+					return nil
+				}
+				bc := m.Blocks[slot]
+				b := m.Data.SubBlock(sx*u, sy*u, sz*u, u, u, u)
+				lv.Data.SetBlock(bc[0]*u, bc[1]*u, bc[2]*u, b)
+				lv.Owned[h.BlockIndex(bc[0], bc[1], bc[2])] = true
+				slot++
+			}
+		}
+	}
+	return nil
+}
+
+// Box is an axis-aligned run of owned blocks, in block coordinates.
+type Box struct {
+	X0, Y0, Z0 int // origin block
+	WX, WY, WZ int // extent in blocks
+}
+
+// TACPartition greedily merges adjacent owned blocks of a level into maximal
+// rectangular boxes (a simplification of TAC's kd-tree merge that preserves
+// its key property: merged regions are spatially contiguous). Boxes are
+// discovered in raster order: grow along x, then extend rows along y, then
+// planes along z.
+func TACPartition(h *grid.Hierarchy, level int) []Box {
+	nbx, nby, nbz := h.NumBlocks()
+	lv := h.Levels[level]
+	owned := func(bx, by, bz int) bool {
+		return lv.Owned[h.BlockIndex(bx, by, bz)]
+	}
+	visited := make([]bool, nbx*nby*nbz)
+	vis := func(bx, by, bz int) bool { return visited[h.BlockIndex(bx, by, bz)] }
+	var boxes []Box
+	for bz := 0; bz < nbz; bz++ {
+		for by := 0; by < nby; by++ {
+			for bx := 0; bx < nbx; bx++ {
+				if !owned(bx, by, bz) || vis(bx, by, bz) {
+					continue
+				}
+				wx := 1
+				for bx+wx < nbx && owned(bx+wx, by, bz) && !vis(bx+wx, by, bz) {
+					wx++
+				}
+				wy := 1
+				for by+wy < nby && rowFree(owned, vis, bx, by+wy, bz, wx) {
+					wy++
+				}
+				wz := 1
+				for bz+wz < nbz && planeFree(owned, vis, bx, by, bz+wz, wx, wy) {
+					wz++
+				}
+				for dz := 0; dz < wz; dz++ {
+					for dy := 0; dy < wy; dy++ {
+						for dx := 0; dx < wx; dx++ {
+							visited[h.BlockIndex(bx+dx, by+dy, bz+dz)] = true
+						}
+					}
+				}
+				boxes = append(boxes, Box{bx, by, bz, wx, wy, wz})
+			}
+		}
+	}
+	return boxes
+}
+
+func rowFree(owned, vis func(int, int, int) bool, bx, by, bz, wx int) bool {
+	for dx := 0; dx < wx; dx++ {
+		if !owned(bx+dx, by, bz) || vis(bx+dx, by, bz) {
+			return false
+		}
+	}
+	return true
+}
+
+func planeFree(owned, vis func(int, int, int) bool, bx, by, bz, wx, wy int) bool {
+	for dy := 0; dy < wy; dy++ {
+		if !rowFree(owned, vis, bx, by+dy, bz, wx) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractBox copies the samples of a box from a level into a standalone
+// field of shape (u·WX, u·WY, u·WZ).
+func ExtractBox(h *grid.Hierarchy, level int, b Box) *field.Field {
+	u := h.UnitBlockSize(level)
+	return h.Levels[level].Data.SubBlock(b.X0*u, b.Y0*u, b.Z0*u, b.WX*u, b.WY*u, b.WZ*u)
+}
+
+// InsertBox writes a box's samples back into a level and marks ownership.
+func InsertBox(h *grid.Hierarchy, level int, b Box, data *field.Field) error {
+	u := h.UnitBlockSize(level)
+	if data.Nx != b.WX*u || data.Ny != b.WY*u || data.Nz != b.WZ*u {
+		return fmt.Errorf("layout: box data %v does not match box %+v u=%d", data, b, u)
+	}
+	h.Levels[level].Data.SetBlock(b.X0*u, b.Y0*u, b.Z0*u, data)
+	for dz := 0; dz < b.WZ; dz++ {
+		for dy := 0; dy < b.WY; dy++ {
+			for dx := 0; dx < b.WX; dx++ {
+				h.Levels[level].Owned[h.BlockIndex(b.X0+dx, b.Y0+dy, b.Z0+dz)] = true
+			}
+		}
+	}
+	return nil
+}
+
+// PadKind selects the extrapolation used for padding values (§III-A: the
+// paper tests constant, linear, and quadratic, and picks linear).
+type PadKind byte
+
+const (
+	// PadConstant replicates the edge sample.
+	PadConstant PadKind = iota
+	// PadLinear extrapolates linearly from the last two samples (the
+	// paper's choice).
+	PadLinear
+	// PadQuadratic extrapolates quadratically from the last three samples.
+	PadQuadratic
+)
+
+// PadXY appends one extrapolated layer to the +x and +y faces of the merged
+// array, growing u×u×L to (u+1)×(u+1)×L. Size overhead is (u+1)²/u², as
+// analyzed in the paper.
+func PadXY(f *field.Field, kind PadKind) *field.Field {
+	g := field.New(f.Nx+1, f.Ny+1, f.Nz)
+	for z := 0; z < f.Nz; z++ {
+		for y := 0; y < f.Ny; y++ {
+			for x := 0; x < f.Nx; x++ {
+				g.Set(x, y, z, f.At(x, y, z))
+			}
+		}
+	}
+	// +x face.
+	for z := 0; z < f.Nz; z++ {
+		for y := 0; y < f.Ny; y++ {
+			g.Set(f.Nx, y, z, extrapolate(kind,
+				sampleBack(f, f.Nx, func(i int) float64 { return f.At(i, y, z) })))
+		}
+	}
+	// +y face, including the new corner column (use the padded array so the
+	// corner extrapolates from already-padded x values).
+	for z := 0; z < f.Nz; z++ {
+		for x := 0; x <= f.Nx; x++ {
+			g.Set(x, f.Ny, z, extrapolate(kind,
+				sampleBack(g, f.Ny, func(i int) float64 { return g.At(x, i, z) })))
+		}
+	}
+	return g
+}
+
+// UnpadXY drops the last x and y layers, reversing PadXY.
+func UnpadXY(f *field.Field) *field.Field {
+	return f.SubBlock(0, 0, 0, f.Nx-1, f.Ny-1, f.Nz)
+}
+
+// sampleBack collects up to the last three samples before index n along a
+// line accessor, most recent first.
+func sampleBack(f *field.Field, n int, at func(int) float64) [3]float64 {
+	var s [3]float64
+	for i := 0; i < 3; i++ {
+		j := n - 1 - i
+		if j < 0 {
+			j = 0
+		}
+		s[i] = at(j)
+	}
+	return s
+}
+
+// extrapolate predicts the next sample from the trailing samples s
+// (s[0] = last, s[1] = second-to-last, s[2] = third-to-last).
+func extrapolate(kind PadKind, s [3]float64) float64 {
+	switch kind {
+	case PadLinear:
+		return 2*s[0] - s[1]
+	case PadQuadratic:
+		return 3*s[0] - 3*s[1] + s[2]
+	default:
+		return s[0]
+	}
+}
+
+// MortonEncode interleaves the bits of (x, y, z) into a Morton (z-order)
+// index. Coordinates must be < 2²¹.
+func MortonEncode(x, y, z uint32) uint64 {
+	return spread(x) | spread(y)<<1 | spread(z)<<2
+}
+
+// MortonDecode reverses MortonEncode.
+func MortonDecode(m uint64) (x, y, z uint32) {
+	return compact(m), compact(m >> 1), compact(m >> 2)
+}
+
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+func compact(m uint64) uint32 {
+	x := m & 0x1249249249249249
+	x = (x | x>>2) & 0x10c30c30c30c30c3
+	x = (x | x>>4) & 0x100f00f00f00f00f
+	x = (x | x>>8) & 0x1f0000ff0000ff
+	x = (x | x>>16) & 0x1f00000000ffff
+	x = (x | x>>32) & 0x1fffff
+	return uint32(x)
+}
+
+// HZIndex converts a Morton index to its HZ-order (hierarchical Z-order)
+// position, the traversal used by IDX-style multi-resolution storage
+// (Kumar et al. [7]). maxBits is the total interleaved bit count (3×level
+// bits for a cubic domain). Index 0 maps to 0; any other point's HZ level is
+// determined by its lowest set bit.
+func HZIndex(morton uint64, maxBits uint) uint64 {
+	if morton == 0 {
+		return 0
+	}
+	tz := uint(0)
+	for morton&(1<<tz) == 0 {
+		tz++
+	}
+	level := maxBits - tz
+	return 1<<(level-1) + morton>>(tz+1)
+}
+
+// ZOrderFlatten1D traverses the owned unit blocks of a level in Morton order
+// of their block coordinates and concatenates all samples (raster order
+// within a block) into a 1D field — the zMesh-style layout that sacrifices
+// 3D spatial information for locality across refinement levels.
+func ZOrderFlatten1D(h *grid.Hierarchy, level int) *Merged {
+	u := h.UnitBlockSize(level)
+	blocks := h.OwnedBlocks(level)
+	if len(blocks) == 0 {
+		return &Merged{Data: nil, U: u}
+	}
+	sortBlocksMorton(blocks)
+	out := field.New(u*u*u*len(blocks), 1, 1)
+	pos := 0
+	for _, bc := range blocks {
+		b := h.BlockField(level, bc[0], bc[1], bc[2])
+		copy(out.Data[pos:pos+b.Len()], b.Data)
+		pos += b.Len()
+	}
+	return &Merged{Data: out, U: u, Blocks: blocks}
+}
+
+// ZOrderUnflatten1D reverses ZOrderFlatten1D.
+func ZOrderUnflatten1D(m *Merged, h *grid.Hierarchy, level int) error {
+	u := h.UnitBlockSize(level)
+	if m.Data == nil {
+		return nil
+	}
+	per := u * u * u
+	if m.Data.Len() != per*len(m.Blocks) {
+		return fmt.Errorf("layout: 1D length %d inconsistent with %d blocks", m.Data.Len(), len(m.Blocks))
+	}
+	lv := h.Levels[level]
+	pos := 0
+	for _, bc := range m.Blocks {
+		b := field.New(u, u, u)
+		copy(b.Data, m.Data.Data[pos:pos+per])
+		pos += per
+		lv.Data.SetBlock(bc[0]*u, bc[1]*u, bc[2]*u, b)
+		lv.Owned[h.BlockIndex(bc[0], bc[1], bc[2])] = true
+	}
+	return nil
+}
+
+func sortBlocksMorton(blocks [][3]int) {
+	sort.Slice(blocks, func(i, j int) bool {
+		a := MortonEncode(uint32(blocks[i][0]), uint32(blocks[i][1]), uint32(blocks[i][2]))
+		b := MortonEncode(uint32(blocks[j][0]), uint32(blocks[j][1]), uint32(blocks[j][2]))
+		return a < b
+	})
+}

@@ -1,0 +1,191 @@
+// Package mcubes implements isosurface extraction: marching-cubes cell
+// classification (which cells the isosurface crosses) and triangle
+// extraction by marching tetrahedra (each cell split into six tetrahedra,
+// which avoids the ambiguous cases of classic marching cubes while producing
+// an equivalent surface). It provides the deterministic-surface machinery on
+// which package uncertainty builds probabilistic marching cubes.
+package mcubes
+
+import (
+	"math"
+
+	"repro/internal/field"
+)
+
+// Vec3 is a point in cell-index space.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Triangle is one isosurface triangle.
+type Triangle [3]Vec3
+
+// cornerOffsets lists the 8 cube corners in the conventional order:
+// bit 0 = +x, bit 1 = +y, bit 2 = +z.
+var cornerOffsets = [8][3]int{
+	{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+	{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+}
+
+// tets decomposes the cube into six tetrahedra sharing the main diagonal
+// corner0–corner7 (indices into cornerOffsets).
+var tets = [6][4]int{
+	{0, 5, 1, 7}, {0, 1, 3, 7}, {0, 3, 2, 7},
+	{0, 2, 6, 7}, {0, 6, 4, 7}, {0, 4, 5, 7},
+}
+
+// CellCrosses reports whether the isosurface crosses the cell with min
+// corner (x,y,z): some corner is ≥ iso and some corner is < iso.
+func CellCrosses(f *field.Field, x, y, z int, iso float64) bool {
+	above, below := false, false
+	for _, o := range cornerOffsets {
+		if f.At(x+o[0], y+o[1], z+o[2]) >= iso {
+			above = true
+		} else {
+			below = true
+		}
+		if above && below {
+			return true
+		}
+	}
+	return false
+}
+
+// CrossingCells returns a boolean mask over cells ((Nx−1)(Ny−1)(Nz−1), cell
+// raster order) marking isosurface-crossing cells, plus the crossing count.
+func CrossingCells(f *field.Field, iso float64) ([]bool, int) {
+	cx, cy, cz := f.Nx-1, f.Ny-1, f.Nz-1
+	if cx <= 0 || cy <= 0 || cz <= 0 {
+		return nil, 0
+	}
+	mask := make([]bool, cx*cy*cz)
+	count := 0
+	for z := 0; z < cz; z++ {
+		for y := 0; y < cy; y++ {
+			for x := 0; x < cx; x++ {
+				if CellCrosses(f, x, y, z, iso) {
+					mask[x+cx*(y+cy*z)] = true
+					count++
+				}
+			}
+		}
+	}
+	return mask, count
+}
+
+// ExtractSurface runs marching tetrahedra over the whole field and returns
+// the isosurface triangles in cell-index coordinates.
+func ExtractSurface(f *field.Field, iso float64) []Triangle {
+	var out []Triangle
+	for z := 0; z < f.Nz-1; z++ {
+		for y := 0; y < f.Ny-1; y++ {
+			for x := 0; x < f.Nx-1; x++ {
+				out = appendCellTriangles(out, f, x, y, z, iso)
+			}
+		}
+	}
+	return out
+}
+
+func appendCellTriangles(out []Triangle, f *field.Field, x, y, z int, iso float64) []Triangle {
+	if !CellCrosses(f, x, y, z, iso) {
+		return out
+	}
+	var vals [8]float64
+	var pos [8]Vec3
+	for i, o := range cornerOffsets {
+		vals[i] = f.At(x+o[0], y+o[1], z+o[2])
+		pos[i] = Vec3{float64(x + o[0]), float64(y + o[1]), float64(z + o[2])}
+	}
+	for _, tet := range tets {
+		out = appendTetTriangles(out, vals, pos, tet, iso)
+	}
+	return out
+}
+
+// appendTetTriangles emits 0–2 triangles for one tetrahedron.
+func appendTetTriangles(out []Triangle, vals [8]float64, pos [8]Vec3, tet [4]int, iso float64) []Triangle {
+	var above [4]bool
+	n := 0
+	for i, vi := range tet {
+		if vals[vi] >= iso {
+			above[i] = true
+			n++
+		}
+	}
+	edge := func(i, j int) Vec3 {
+		a, b := tet[i], tet[j]
+		va, vb := vals[a], vals[b]
+		t := 0.5
+		if vb != va {
+			t = (iso - va) / (vb - va)
+		}
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		return Vec3{
+			X: pos[a].X + t*(pos[b].X-pos[a].X),
+			Y: pos[a].Y + t*(pos[b].Y-pos[a].Y),
+			Z: pos[a].Z + t*(pos[b].Z-pos[a].Z),
+		}
+	}
+	switch n {
+	case 0, 4:
+		return out
+	case 1, 3:
+		// One vertex isolated: a single triangle on the three edges from it.
+		iso1 := 0
+		want := n == 1
+		for i := 0; i < 4; i++ {
+			if above[i] == want {
+				iso1 = i
+				break
+			}
+		}
+		var others [3]int
+		k := 0
+		for i := 0; i < 4; i++ {
+			if i != iso1 {
+				others[k] = i
+				k++
+			}
+		}
+		return append(out, Triangle{edge(iso1, others[0]), edge(iso1, others[1]), edge(iso1, others[2])})
+	default: // 2
+		// Two above, two below: a quad split into two triangles.
+		var ab, be [2]int
+		ka, kb := 0, 0
+		for i := 0; i < 4; i++ {
+			if above[i] {
+				ab[ka] = i
+				ka++
+			} else {
+				be[kb] = i
+				kb++
+			}
+		}
+		q0 := edge(ab[0], be[0])
+		q1 := edge(ab[0], be[1])
+		q2 := edge(ab[1], be[1])
+		q3 := edge(ab[1], be[0])
+		return append(out, Triangle{q0, q1, q2}, Triangle{q0, q2, q3})
+	}
+}
+
+// SurfaceArea sums the areas of the triangles.
+func SurfaceArea(tris []Triangle) float64 {
+	area := 0.0
+	for _, t := range tris {
+		ax := t[1].X - t[0].X
+		ay := t[1].Y - t[0].Y
+		az := t[1].Z - t[0].Z
+		bx := t[2].X - t[0].X
+		by := t[2].Y - t[0].Y
+		bz := t[2].Z - t[0].Z
+		cx := ay*bz - az*by
+		cy := az*bx - ax*bz
+		cz := ax*by - ay*bx
+		area += 0.5 * math.Sqrt(cx*cx+cy*cy+cz*cz)
+	}
+	return area
+}

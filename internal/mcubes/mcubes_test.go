@@ -1,0 +1,142 @@
+package mcubes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+)
+
+// sphereField returns f(x) = |x - c| for a grid, so the isosurface at r is a
+// sphere of radius r.
+func sphereField(n int) *field.Field {
+	f := field.New(n, n, n)
+	c := float64(n-1) / 2
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				dx, dy, dz := float64(x)-c, float64(y)-c, float64(z)-c
+				f.Set(x, y, z, math.Sqrt(dx*dx+dy*dy+dz*dz))
+			}
+		}
+	}
+	return f
+}
+
+func TestCellCrossesPlane(t *testing.T) {
+	f := field.New(2, 2, 2)
+	// Half below, half above iso=0.5.
+	f.Set(0, 0, 0, 0)
+	f.Set(1, 0, 0, 1)
+	f.Set(0, 1, 0, 0)
+	f.Set(1, 1, 0, 1)
+	f.Set(0, 0, 1, 0)
+	f.Set(1, 0, 1, 1)
+	f.Set(0, 1, 1, 0)
+	f.Set(1, 1, 1, 1)
+	if !CellCrosses(f, 0, 0, 0, 0.5) {
+		t.Fatal("cell must cross")
+	}
+	if CellCrosses(f, 0, 0, 0, 2) {
+		t.Fatal("cell must not cross iso above all values")
+	}
+}
+
+func TestCrossingCellsCount(t *testing.T) {
+	f := sphereField(16)
+	_, count := CrossingCells(f, 5)
+	if count == 0 {
+		t.Fatal("sphere surface must cross cells")
+	}
+	// All crossing cells must be at distance ~5 from center.
+	mask, _ := CrossingCells(f, 5)
+	cx := 15
+	c := 7.5
+	for z := 0; z < cx; z++ {
+		for y := 0; y < cx; y++ {
+			for x := 0; x < cx; x++ {
+				if !mask[x+cx*(y+cx*z)] {
+					continue
+				}
+				d := math.Sqrt((float64(x)+0.5-c)*(float64(x)+0.5-c) +
+					(float64(y)+0.5-c)*(float64(y)+0.5-c) +
+					(float64(z)+0.5-c)*(float64(z)+0.5-c))
+				if math.Abs(d-5) > 1.8 {
+					t.Fatalf("crossing cell (%d,%d,%d) at distance %g from surface", x, y, z, d)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractPlanarSurfaceExact(t *testing.T) {
+	// f = x: the isosurface at x=2.5 is the plane x=2.5; every triangle
+	// vertex must lie on it.
+	n := 6
+	f := field.New(n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				f.Set(x, y, z, float64(x))
+			}
+		}
+	}
+	tris := ExtractSurface(f, 2.5)
+	if len(tris) == 0 {
+		t.Fatal("no triangles for plane")
+	}
+	for _, tr := range tris {
+		for _, v := range tr {
+			if math.Abs(v.X-2.5) > 1e-12 {
+				t.Fatalf("vertex off plane: %+v", v)
+			}
+		}
+	}
+	// Plane area through a 5x5x5-cell domain is 5x5 = 25.
+	if a := SurfaceArea(tris); math.Abs(a-25) > 1e-9 {
+		t.Fatalf("plane area %g, want 25", a)
+	}
+}
+
+func TestSphereAreaApproximation(t *testing.T) {
+	f := sphereField(32)
+	r := 10.0
+	tris := ExtractSurface(f, r)
+	got := SurfaceArea(tris)
+	want := 4 * math.Pi * r * r
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("sphere area %g, want ~%g (±5%%)", got, want)
+	}
+}
+
+func TestNoSurfaceOutsideRange(t *testing.T) {
+	f := sphereField(8)
+	if tris := ExtractSurface(f, 100); len(tris) != 0 {
+		t.Fatalf("%d triangles for out-of-range isovalue", len(tris))
+	}
+}
+
+func TestSurfaceWatertightVertexOnEdges(t *testing.T) {
+	// Every triangle vertex produced by marching tetrahedra must have a
+	// value equal to iso under trilinear interpolation along its edge; a
+	// cheap necessary check: vertices lie within the cell bounds.
+	f := sphereField(12)
+	tris := ExtractSurface(f, 4)
+	for _, tr := range tris {
+		for _, v := range tr {
+			if v.X < 0 || v.X > 11 || v.Y < 0 || v.Y > 11 || v.Z < 0 || v.Z > 11 {
+				t.Fatalf("vertex outside domain: %+v", v)
+			}
+		}
+	}
+}
+
+func TestDegenerateSmallFields(t *testing.T) {
+	f := field.New(1, 1, 1)
+	if mask, n := CrossingCells(f, 0); mask != nil || n != 0 {
+		t.Fatal("1-voxel field has no cells")
+	}
+	if tris := ExtractSurface(f, 0); len(tris) != 0 {
+		t.Fatal("1-voxel field has no surface")
+	}
+}

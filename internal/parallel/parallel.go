@@ -1,0 +1,65 @@
+// Package parallel provides the goroutine worker-pool helpers standing in
+// for the paper's OpenMP parallelization of compression and post-processing.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the degree of parallelism to use: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for i in [0, n) across Workers() goroutines, blocking
+// until all complete. Iterations are distributed in contiguous chunks to
+// keep per-item overhead low on large n.
+func ForEach(n int, fn func(i int)) {
+	ForEachWorkers(n, Workers(), fn)
+}
+
+// ForEachWorkers is ForEach with an explicit worker count (1 = serial, the
+// paper's "Serial SZ2" configuration).
+func ForEachWorkers(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies fn to each index and collects the results in order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAll(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForEachWorkersSerial(t *testing.T) {
+	// With one worker, execution must be in order (no data race possible).
+	var order []int
+	ForEachWorkers(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, func(int) { called = true })
+	ForEach(-5, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachMoreWorkersThanItems(t *testing.T) {
+	var count int32
+	ForEachWorkers(3, 100, func(int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out := Map(50, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatal("Workers must be >= 1")
+	}
+}

@@ -1,0 +1,163 @@
+// Package parallelcomp provides OpenMP-style chunked parallel compression:
+// the field is split into z-slabs compressed concurrently, each with its own
+// stream. This mirrors how the paper parallelizes SZ2/ZFP with OpenMP and
+// reproduces its side effect — "using OpenMP with SZ2 can lead to a lower
+// compression ratio due to the embarrassingly parallel" decomposition
+// (§IV-C): each slab carries its own entropy tables and loses cross-slab
+// prediction context.
+package parallelcomp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/field"
+)
+
+// Codec adapts a single-field compressor.
+type Codec struct {
+	// Name identifies the codec in diagnostics.
+	Name string
+	// Compress encodes one field chunk.
+	Compress func(*field.Field) ([]byte, error)
+	// Decompress decodes one chunk.
+	Decompress func([]byte) (*field.Field, error)
+}
+
+const magic = "PARC"
+
+// Compress splits f into up to `workers` z-slabs, compresses them
+// concurrently with the codec, and concatenates the streams into a
+// self-describing container. workers ≤ 1 degenerates to a single slab
+// (serial semantics and serial compression ratio).
+func Compress(f *field.Field, codec Codec, workers int) ([]byte, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > f.Nz {
+		workers = f.Nz
+	}
+	// Slab boundaries: contiguous z ranges, as even as possible.
+	bounds := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		bounds[i] = i * f.Nz / workers
+	}
+	chunks := make([][]byte, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo >= hi {
+			chunks[i] = nil
+			continue
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			slab := f.SubBlock(0, 0, lo, f.Nx, f.Ny, hi-lo)
+			chunks[i], errs[i] = codec.Compress(slab)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parallelcomp: slab %d: %w", i, err)
+		}
+	}
+	var out []byte
+	out = append(out, magic...)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{uint64(f.Nx), uint64(f.Ny), uint64(f.Nz), uint64(workers)} {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	for _, c := range chunks {
+		n := binary.PutUvarint(tmp[:], uint64(len(c)))
+		out = append(out, tmp[:n]...)
+		out = append(out, c...)
+	}
+	return out, nil
+}
+
+// Decompress reverses Compress, decoding slabs concurrently.
+func Decompress(blob []byte, codec Codec) (*field.Field, error) {
+	if len(blob) < 4 || string(blob[:4]) != magic {
+		return nil, errors.New("parallelcomp: bad magic")
+	}
+	buf := blob[4:]
+	readU := func() (int, error) {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return 0, errors.New("parallelcomp: truncated header")
+		}
+		buf = buf[n:]
+		return int(v), nil
+	}
+	nx, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	ny, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	nz, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	workers, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if nx <= 0 || ny <= 0 || nz <= 0 || workers <= 0 || workers > nz {
+		return nil, errors.New("parallelcomp: invalid header")
+	}
+	chunks := make([][]byte, workers)
+	for i := range chunks {
+		l, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		if l > len(buf) {
+			return nil, errors.New("parallelcomp: truncated chunk")
+		}
+		chunks[i] = buf[:l]
+		buf = buf[l:]
+	}
+	out := field.New(nx, ny, nz)
+	slabs := make([]*field.Field, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := range chunks {
+		if len(chunks[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			slabs[i], errs[i] = codec.Decompress(chunks[i])
+		}(i)
+	}
+	wg.Wait()
+	z := 0
+	for i := range chunks {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("parallelcomp: slab %d: %w", i, errs[i])
+		}
+		s := slabs[i]
+		if s == nil {
+			continue
+		}
+		if s.Nx != nx || s.Ny != ny || z+s.Nz > nz {
+			return nil, fmt.Errorf("parallelcomp: slab %d shape %v inconsistent", i, s)
+		}
+		out.SetBlock(0, 0, z, s)
+		z += s.Nz
+	}
+	if z != nz {
+		return nil, fmt.Errorf("parallelcomp: slabs cover %d of %d z planes", z, nz)
+	}
+	return out, nil
+}

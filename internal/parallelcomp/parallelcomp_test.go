@@ -1,0 +1,108 @@
+package parallelcomp
+
+import (
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/synth"
+	"repro/internal/sz2"
+	"repro/internal/zfp"
+)
+
+func sz2Codec(eb float64) Codec {
+	return Codec{
+		Name:       "sz2",
+		Compress:   func(f *field.Field) ([]byte, error) { return sz2.Compress(f, sz2.Options{EB: eb}) },
+		Decompress: sz2.Decompress,
+	}
+}
+
+func zfpCodec(tol float64) Codec {
+	return Codec{
+		Name:       "zfp",
+		Compress:   func(f *field.Field) ([]byte, error) { return zfp.Compress(f, zfp.Options{Tolerance: tol}) },
+		Decompress: zfp.Decompress,
+	}
+}
+
+func TestRoundTripWithinBound(t *testing.T) {
+	f := synth.Generate(synth.S3D, 32, 1)
+	eb := f.ValueRange() * 1e-3
+	for _, workers := range []int{1, 2, 4, 7} {
+		blob, err := Compress(f, sz2Codec(eb), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		g, err := Decompress(blob, sz2Codec(eb))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d := f.MaxAbsDiff(g); d > eb*(1+1e-12) {
+			t.Fatalf("workers=%d: error %g exceeds %g", workers, d, eb)
+		}
+	}
+}
+
+func TestParallelCRPenalty(t *testing.T) {
+	// The paper's observation: parallel (chunked) SZ2 compresses worse than
+	// serial because slabs lose shared context.
+	f := synth.Generate(synth.Nyx, 48, 2)
+	eb := f.ValueRange() * 1e-3
+	serial, err := Compress(f, sz2Codec(eb), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compress(f, sz2Codec(eb), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) <= len(serial) {
+		t.Fatalf("expected CR penalty for chunked compression: serial %d, parallel %d", len(serial), len(par))
+	}
+}
+
+func TestZFPCodecRoundTrip(t *testing.T) {
+	f := synth.Generate(synth.Hurricane, 24, 3)
+	tol := f.ValueRange() * 5e-3
+	blob, err := Compress(f, zfpCodec(tol), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decompress(blob, zfpCodec(tol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.MaxAbsDiff(g); d > tol {
+		t.Fatalf("error %g exceeds %g", d, tol)
+	}
+}
+
+func TestWorkersClampedToDepth(t *testing.T) {
+	f := field.New(8, 8, 3) // only 3 z planes
+	f.Fill(1)
+	blob, err := Compress(f, sz2Codec(0.01), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decompress(blob, sz2Codec(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.SameShape(f) {
+		t.Fatal("shape lost")
+	}
+}
+
+func TestDecompressValidation(t *testing.T) {
+	if _, err := Decompress([]byte("nope"), sz2Codec(1)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	f := synth.Generate(synth.S3D, 16, 4)
+	blob, err := Compress(f, sz2Codec(f.ValueRange()*1e-3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(blob[:len(blob)/2], sz2Codec(f.ValueRange()*1e-3)); err == nil {
+		t.Fatal("truncation accepted")
+	}
+}

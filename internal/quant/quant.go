@@ -1,0 +1,75 @@
+// Package quant implements the error-controlled linear-scaling quantizer
+// shared by the SZ-style compressors. Given a prediction p for a true value
+// v and an error bound eb, the quantizer emits an integer code such that the
+// reconstruction r = p + 2·eb·code satisfies |v − r| ≤ eb. Values whose code
+// would overflow the code range are escaped as "unpredictable" and stored
+// verbatim, preserving the bound exactly.
+package quant
+
+import "math"
+
+// RadiusDefault is the default quantization code radius (symmetric range of
+// representable codes), matching SZ's 16-bit default (±32768).
+const RadiusDefault = 32768
+
+// Quantizer maps prediction errors to integer codes under an absolute error
+// bound. The zero code is reserved for the "unpredictable" escape so that
+// decoders can recognize it without side channels; predictable codes are
+// offset by Radius.
+type Quantizer struct {
+	// EB is the absolute error bound. Must be > 0.
+	EB float64
+	// Radius is the code radius. Codes lie in (0, 2·Radius]; 0 escapes.
+	Radius int
+
+	// Outliers accumulates the verbatim values of escaped samples in
+	// encounter order. The decoder consumes them in the same order.
+	Outliers []float64
+	outPos   int
+}
+
+// New returns a quantizer with the default radius.
+func New(eb float64) *Quantizer {
+	if eb <= 0 {
+		panic("quant: error bound must be positive")
+	}
+	return &Quantizer{EB: eb, Radius: RadiusDefault}
+}
+
+// Encode quantizes value v against prediction pred. It returns the code and
+// the reconstructed value the decoder will produce (which the encoder must
+// use in place of v for subsequent predictions).
+func (q *Quantizer) Encode(v, pred float64) (code int32, recon float64) {
+	diff := v - pred
+	half := q.EB // bin half-width
+	k := math.Floor(diff/(2*half) + 0.5)
+	if math.Abs(k) >= float64(q.Radius) || math.IsNaN(k) || math.IsInf(k, 0) {
+		q.Outliers = append(q.Outliers, v)
+		return 0, v
+	}
+	r := pred + 2*half*k
+	// Guard against floating-point rounding pushing the reconstruction out
+	// of bounds (can happen when |pred| >> eb) and against non-finite
+	// reconstructions from overflowing 2·eb. The negated comparison is
+	// deliberate: it also trips when r is NaN.
+	if !(math.Abs(v-r) <= half) {
+		q.Outliers = append(q.Outliers, v)
+		return 0, v
+	}
+	return int32(int(k)) + int32(q.Radius), r
+}
+
+// Decode reconstructs a value from its code and prediction, consuming an
+// outlier when code == 0.
+func (q *Quantizer) Decode(code int32, pred float64) float64 {
+	if code == 0 {
+		v := q.Outliers[q.outPos]
+		q.outPos++
+		return v
+	}
+	k := float64(int(code) - q.Radius)
+	return pred + 2*q.EB*k
+}
+
+// ResetDecode rewinds the outlier cursor for a fresh decode pass.
+func (q *Quantizer) ResetDecode() { q.outPos = 0 }

@@ -1,0 +1,134 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+
+	"repro/internal/field"
+)
+
+// Volume rendering — the visualization extension the paper's future work
+// proposes for the uncertainty stage (§V). A simple emission-absorption ray
+// marcher composites the field front-to-back along z, optionally blending a
+// per-cell uncertainty field in red, so compression-induced uncertainty can
+// be inspected volumetrically instead of per slice.
+
+// VolumeOptions configures the ray marcher.
+type VolumeOptions struct {
+	// Cmap colors each sample by normalized value (default Viridis).
+	Cmap Colormap
+	// Opacity scales per-sample opacity; higher = denser (default 0.05).
+	Opacity float64
+	// Lo, Hi normalize sample values; both zero = field range.
+	Lo, Hi float64
+}
+
+func (o *VolumeOptions) withDefaults(f *field.Field) VolumeOptions {
+	v := *o
+	if v.Cmap == nil {
+		v.Cmap = Viridis
+	}
+	if v.Opacity == 0 {
+		v.Opacity = 0.05
+	}
+	if v.Lo == 0 && v.Hi == 0 {
+		v.Lo, v.Hi = f.Range()
+	}
+	if v.Hi == v.Lo {
+		v.Hi = v.Lo + 1
+	}
+	return v
+}
+
+// Volume renders the field by front-to-back compositing along +z.
+func Volume(f *field.Field, opt VolumeOptions) *image.RGBA {
+	opt = (&opt).withDefaults(f)
+	img := image.NewRGBA(image.Rect(0, 0, f.Nx, f.Ny))
+	den := opt.Hi - opt.Lo
+	for y := 0; y < f.Ny; y++ {
+		for x := 0; x < f.Nx; x++ {
+			var r, g, b, acc float64
+			for z := 0; z < f.Nz && acc < 0.995; z++ {
+				t := (f.At(x, y, z) - opt.Lo) / den
+				if t < 0 {
+					t = 0
+				} else if t > 1 {
+					t = 1
+				}
+				alpha := opt.Opacity * t * (1 - acc)
+				c := opt.Cmap(t)
+				r += alpha * float64(c.R)
+				g += alpha * float64(c.G)
+				b += alpha * float64(c.B)
+				acc += alpha
+			}
+			img.SetRGBA(x, f.Ny-1-y, rgba8(r, g, b))
+		}
+	}
+	return img
+}
+
+// VolumeWithUncertainty composites the decompressed field in grayscale and
+// the cell-centered crossing-probability field in red along the same rays,
+// the volumetric analogue of UncertaintyOverlay. probs must have shape
+// (Nx−1)×(Ny−1)×(Nz−1).
+func VolumeWithUncertainty(decomp, probs *field.Field, opt VolumeOptions) (*image.RGBA, error) {
+	if probs.Nx != decomp.Nx-1 || probs.Ny != decomp.Ny-1 || probs.Nz != decomp.Nz-1 {
+		return nil, fmt.Errorf("render: probability field %v does not match cells of %v", probs, decomp)
+	}
+	opt = (&opt).withDefaults(decomp)
+	img := image.NewRGBA(image.Rect(0, 0, decomp.Nx, decomp.Ny))
+	den := opt.Hi - opt.Lo
+	for y := 0; y < decomp.Ny; y++ {
+		for x := 0; x < decomp.Nx; x++ {
+			var r, g, b, acc float64
+			for z := 0; z < decomp.Nz && acc < 0.995; z++ {
+				t := (decomp.At(x, y, z) - opt.Lo) / den
+				if t < 0 {
+					t = 0
+				} else if t > 1 {
+					t = 1
+				}
+				// Grayscale emission for the data itself.
+				alpha := opt.Opacity * t * (1 - acc)
+				lum := 255 * t
+				r += alpha * lum
+				g += alpha * lum
+				b += alpha * lum
+				acc += alpha
+				// Red emission for uncertainty, sampled at the nearest cell.
+				cx, cy, cz := clampIdx(x, probs.Nx), clampIdx(y, probs.Ny), clampIdx(z, probs.Nz)
+				p := probs.At(cx, cy, cz)
+				if p > 0.01 {
+					ua := math.Min(1, p) * 0.3 * (1 - acc)
+					r += ua * 255
+					acc += ua
+				}
+			}
+			img.SetRGBA(x, decomp.Ny-1-y, rgba8(r, g, b))
+		}
+	}
+	return img, nil
+}
+
+func clampIdx(v, n int) int {
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+func rgba8(r, g, b float64) color.RGBA {
+	clamp := func(v float64) uint8 {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return uint8(v)
+	}
+	return color.RGBA{clamp(r), clamp(g), clamp(b), 255}
+}

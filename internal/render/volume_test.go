@@ -1,0 +1,69 @@
+package render
+
+import (
+	"image/color"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/synth"
+	"repro/internal/uncertainty"
+)
+
+func TestVolumeDims(t *testing.T) {
+	f := synth.Generate(synth.Nyx, 16, 1)
+	img := Volume(f, VolumeOptions{})
+	if img.Bounds().Dx() != 16 || img.Bounds().Dy() != 16 {
+		t.Fatalf("bounds %v", img.Bounds())
+	}
+}
+
+func TestVolumeEmptyFieldIsBlack(t *testing.T) {
+	f := field.New(8, 8, 8)
+	img := Volume(f, VolumeOptions{Lo: 0, Hi: 1})
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if c := img.RGBAAt(x, y); c.R != 0 || c.G != 0 || c.B != 0 {
+				t.Fatalf("empty volume rendered non-black at (%d,%d): %v", x, y, c)
+			}
+		}
+	}
+}
+
+func TestVolumeDenseColumnBrighter(t *testing.T) {
+	f := field.New(4, 4, 16)
+	// One bright column at (1,1).
+	for z := 0; z < 16; z++ {
+		f.Set(1, 1, z, 1)
+	}
+	img := Volume(f, VolumeOptions{Lo: 0, Hi: 1, Cmap: Gray})
+	bright := img.RGBAAt(1, 4-1-1)
+	dark := img.RGBAAt(3, 0)
+	if bright.R <= dark.R {
+		t.Fatalf("dense column not brighter: %v vs %v", bright, dark)
+	}
+}
+
+func TestVolumeWithUncertainty(t *testing.T) {
+	f := synth.Generate(synth.Hurricane, 16, 2)
+	probs, err := uncertainty.CrossProbabilities(f, f.Mean(), uncertainty.ErrorModel{StdDev: f.ValueRange() * 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := VolumeWithUncertainty(f, probs, VolumeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 16 {
+		t.Fatal("bad bounds")
+	}
+	// Mismatched shapes rejected.
+	if _, err := VolumeWithUncertainty(f, field.New(2, 2, 2), VolumeOptions{}); err == nil {
+		t.Fatal("mismatched probs accepted")
+	}
+}
+
+func TestRGBA8Clamps(t *testing.T) {
+	if c := rgba8(-5, 300, 128); c != (color.RGBA{0, 255, 128, 255}) {
+		t.Fatalf("rgba8 = %v", c)
+	}
+}

@@ -1,0 +1,138 @@
+// Package roi implements the paper's compression-oriented Region-of-Interest
+// extraction (§III): converting uniform-grid data into multi-resolution
+// ("adaptive") data by range thresholding.
+//
+// The field is partitioned into b³ blocks (b = 2ⁿ, n > 2). Each block's
+// value range (max − min) is computed and the top x% of blocks are kept at
+// full resolution (the ROI); the rest are stored 2×-downsampled. Following
+// Kumar et al. [7], range thresholding is chosen for being lightweight yet
+// effective — on Nyx it captures the over-density halos (Fig. 4).
+package roi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// Options configures ROI extraction.
+type Options struct {
+	// BlockB is the block edge in fine cells (power of two > 4; default 16).
+	BlockB int
+	// TopFrac is the fraction of blocks kept at full resolution
+	// (default 0.5, as in the paper; adjustable per application).
+	TopFrac float64
+}
+
+func (o *Options) setDefaults() {
+	if o.BlockB == 0 {
+		o.BlockB = 16
+	}
+	if o.TopFrac == 0 {
+		o.TopFrac = 0.5
+	}
+}
+
+// Select returns the per-block ROI mask (flat raster block index order) for
+// the field: true for blocks whose value range is in the top TopFrac.
+func Select(f *field.Field, opt Options) ([]bool, error) {
+	opt.setDefaults()
+	if opt.TopFrac < 0 || opt.TopFrac > 1 {
+		return nil, fmt.Errorf("roi: TopFrac %g out of [0,1]", opt.TopFrac)
+	}
+	b := opt.BlockB
+	if f.Nx%b != 0 || f.Ny%b != 0 || f.Nz%b != 0 {
+		return nil, fmt.Errorf("roi: dims %dx%dx%d not multiples of block %d", f.Nx, f.Ny, f.Nz, b)
+	}
+	nbx, nby, nbz := f.Nx/b, f.Ny/b, f.Nz/b
+	n := nbx * nby * nbz
+	ranges := make([]float64, n)
+	idx := 0
+	for bz := 0; bz < nbz; bz++ {
+		for by := 0; by < nby; by++ {
+			for bx := 0; bx < nbx; bx++ {
+				ranges[idx] = f.SubBlock(bx*b, by*b, bz*b, b, b, b).ValueRange()
+				idx++
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if ranges[order[i]] != ranges[order[j]] {
+			return ranges[order[i]] > ranges[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	keep := int(opt.TopFrac*float64(n) + 0.5)
+	mask := make([]bool, n)
+	for i := 0; i < keep; i++ {
+		mask[order[i]] = true
+	}
+	return mask, nil
+}
+
+// Convert turns a uniform field into a two-level adaptive hierarchy: ROI
+// blocks at full resolution (level 0), the rest mean-downsampled 2× per axis
+// (level 1).
+func Convert(f *field.Field, opt Options) (*grid.Hierarchy, error) {
+	opt.setDefaults()
+	mask, err := Select(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	h, err := grid.New(f.Nx, f.Ny, f.Nz, opt.BlockB, 2)
+	if err != nil {
+		return nil, err
+	}
+	nbx, nby, nbz := h.NumBlocks()
+	idx := 0
+	for bz := 0; bz < nbz; bz++ {
+		for by := 0; by < nby; by++ {
+			for bx := 0; bx < nbx; bx++ {
+				level := 1
+				if mask[idx] {
+					level = 0
+				}
+				h.SetBlockFromFine(level, bx, by, bz, f)
+				idx++
+			}
+		}
+	}
+	return h, nil
+}
+
+// ROIOnly returns a copy of f where non-ROI samples are replaced by the
+// down-then-upsampled approximation — the "ROI extraction" visualization of
+// Fig. 4 (ROI regions identical, background smoothed).
+func ROIOnly(f *field.Field, opt Options) (*field.Field, error) {
+	h, err := Convert(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	return h.Flatten(), nil
+}
+
+// Stats summarizes an extraction: fraction of blocks kept and the fraction
+// of raw samples retained (ROI at full rate + non-ROI at 1/8 rate).
+type Stats struct {
+	BlocksKept   float64 // fraction of blocks at full resolution
+	SampleRatio  float64 // stored samples / original samples
+	StorageRatio float64 // original bytes / stored bytes
+}
+
+// Measure computes extraction statistics for the given options.
+func Measure(f *field.Field, opt Options) (Stats, error) {
+	opt.setDefaults()
+	h, err := Convert(f, opt)
+	if err != nil {
+		return Stats{}, err
+	}
+	kept := h.Density(0)
+	samples := float64(h.PayloadSamples()) / float64(f.Len())
+	return Stats{BlocksKept: kept, SampleRatio: samples, StorageRatio: 1 / samples}, nil
+}

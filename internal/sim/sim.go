@@ -1,0 +1,184 @@
+// Package sim provides a toy AMR simulation standing in for the paper's
+// in-situ applications (Nyx on AMReX, WarpX). It evolves a population of
+// gravitating "halos" (Gaussian blobs that drift toward each other and
+// condense) over timesteps, producing at each step a two-level AMR hierarchy
+// refined by the range criterion — enough to exercise the full in-situ
+// output path (collect → merge/pad → compress → write) with realistic
+// per-step timings for the Table IV experiments.
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// Config parameterizes the simulation.
+type Config struct {
+	// N is the fine-grid edge (multiple of BlockB).
+	N int
+	// BlockB is the AMR block size in fine cells (default 16).
+	BlockB int
+	// FineFrac is the fraction of blocks refined to the fine level
+	// (default 0.25, Nyx-T1-like density).
+	FineFrac float64
+	// Halos is the number of blobs (default 20).
+	Halos int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	v := *c
+	if v.N == 0 {
+		v.N = 64
+	}
+	if v.BlockB == 0 {
+		v.BlockB = 16
+	}
+	if v.FineFrac == 0 {
+		v.FineFrac = 0.25
+	}
+	if v.Halos == 0 {
+		v.Halos = 20
+	}
+	if v.Seed == 0 {
+		v.Seed = 1
+	}
+	return v
+}
+
+type halo struct {
+	x, y, z    float64 // position in [0,1)³
+	vx, vy, vz float64
+	mass       float64
+	radius     float64
+}
+
+// Simulation is an evolving halo population.
+type Simulation struct {
+	cfg   Config
+	halos []halo
+	step  int
+}
+
+// New creates a simulation.
+func New(cfg Config) *Simulation {
+	cfg = (&cfg).withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Simulation{cfg: cfg}
+	for i := 0; i < cfg.Halos; i++ {
+		s.halos = append(s.halos, halo{
+			x: rng.Float64(), y: rng.Float64(), z: rng.Float64(),
+			vx: 0.02 * rng.NormFloat64(), vy: 0.02 * rng.NormFloat64(), vz: 0.02 * rng.NormFloat64(),
+			mass:   math.Exp(1.5 + rng.Float64()*2),
+			radius: 0.02 + 0.03*rng.Float64(),
+		})
+	}
+	return s
+}
+
+// Step advances the simulation by dt: halos attract each other (softened
+// pairwise gravity), drift, wrap periodically, and slowly condense.
+func (s *Simulation) Step(dt float64) {
+	n := len(s.halos)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	const g = 0.002
+	const soft = 0.01
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := wrapDelta(s.halos[j].x - s.halos[i].x)
+			dy := wrapDelta(s.halos[j].y - s.halos[i].y)
+			dz := wrapDelta(s.halos[j].z - s.halos[i].z)
+			d2 := dx*dx + dy*dy + dz*dz + soft*soft
+			inv := 1 / (d2 * math.Sqrt(d2))
+			fi := g * s.halos[j].mass * inv
+			fj := g * s.halos[i].mass * inv
+			ax[i] += fi * dx
+			ay[i] += fi * dy
+			az[i] += fi * dz
+			ax[j] -= fj * dx
+			ay[j] -= fj * dy
+			az[j] -= fj * dz
+		}
+	}
+	for i := range s.halos {
+		h := &s.halos[i]
+		h.vx += ax[i] * dt
+		h.vy += ay[i] * dt
+		h.vz += az[i] * dt
+		h.x = wrap01(h.x + h.vx*dt)
+		h.y = wrap01(h.y + h.vy*dt)
+		h.z = wrap01(h.z + h.vz*dt)
+		// Condensation: halos sharpen slowly over time.
+		h.radius = math.Max(0.012, h.radius*(1-0.01*dt))
+	}
+	s.step++
+}
+
+// StepIndex returns the number of steps taken.
+func (s *Simulation) StepIndex() int { return s.step }
+
+// Density rasterizes the current halo population onto the fine grid as a
+// positive density field (background + Gaussian blobs, periodic).
+func (s *Simulation) Density() *field.Field {
+	n := s.cfg.N
+	f := field.New(n, n, n)
+	f.Fill(1)
+	for _, h := range s.halos {
+		// Rasterize only a local neighborhood of each halo for speed.
+		r := h.radius * 4
+		lox, hix := int((h.x-r)*float64(n)), int((h.x+r)*float64(n))+1
+		loy, hiy := int((h.y-r)*float64(n)), int((h.y+r)*float64(n))+1
+		loz, hiz := int((h.z-r)*float64(n)), int((h.z+r)*float64(n))+1
+		for z := loz; z <= hiz; z++ {
+			pz := (float64(z) + 0.5) / float64(n)
+			dz := wrapDelta(pz - h.z)
+			for y := loy; y <= hiy; y++ {
+				py := (float64(y) + 0.5) / float64(n)
+				dy := wrapDelta(py - h.y)
+				for x := lox; x <= hix; x++ {
+					px := (float64(x) + 0.5) / float64(n)
+					dx := wrapDelta(px - h.x)
+					d2 := dx*dx + dy*dy + dz*dz
+					v := h.mass * math.Exp(-d2/(2*h.radius*h.radius))
+					i := f.Index(mod(x, n), mod(y, n), mod(z, n))
+					f.Data[i] += v
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Snapshot produces the current state as a two-level AMR hierarchy refined
+// by the range criterion (the fraction cfg.FineFrac of highest-range blocks
+// at the fine level), scaled to Nyx-like absolute values.
+func (s *Simulation) Snapshot() (*grid.Hierarchy, error) {
+	f := s.Density()
+	f.Apply(func(v float64) float64 { return v * 1e8 })
+	return grid.BuildAMR(f, s.cfg.BlockB, []float64{s.cfg.FineFrac, 1 - s.cfg.FineFrac})
+}
+
+func wrap01(v float64) float64 {
+	v -= math.Floor(v)
+	return v
+}
+
+// wrapDelta maps a periodic difference into [-0.5, 0.5).
+func wrapDelta(d float64) float64 {
+	d -= math.Round(d)
+	return d
+}
+
+func mod(v, n int) int {
+	v %= n
+	if v < 0 {
+		v += n
+	}
+	return v
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministicRuns(t *testing.T) {
+	a := New(Config{N: 32, Seed: 5})
+	b := New(Config{N: 32, Seed: 5})
+	for i := 0; i < 3; i++ {
+		a.Step(0.5)
+		b.Step(0.5)
+	}
+	if !a.Density().Equal(b.Density()) {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestDensityPositiveAndPeaked(t *testing.T) {
+	s := New(Config{N: 32, Seed: 2})
+	f := s.Density()
+	min, max := f.Range()
+	if min < 1 {
+		t.Fatalf("density background below 1: %g", min)
+	}
+	if max < 5 {
+		t.Fatalf("no halo peaks: max %g", max)
+	}
+}
+
+func TestStepEvolvesField(t *testing.T) {
+	s := New(Config{N: 32, Seed: 3})
+	before := s.Density()
+	for i := 0; i < 5; i++ {
+		s.Step(1)
+	}
+	after := s.Density()
+	if before.Equal(after) {
+		t.Fatal("field did not evolve")
+	}
+	if s.StepIndex() != 5 {
+		t.Fatalf("step index %d", s.StepIndex())
+	}
+}
+
+func TestHalosStayInDomain(t *testing.T) {
+	s := New(Config{N: 16, Seed: 4, Halos: 10})
+	for i := 0; i < 50; i++ {
+		s.Step(1)
+	}
+	for i, h := range s.halos {
+		if h.x < 0 || h.x >= 1 || h.y < 0 || h.y >= 1 || h.z < 0 || h.z >= 1 {
+			t.Fatalf("halo %d escaped: (%g,%g,%g)", i, h.x, h.y, h.z)
+		}
+		if math.IsNaN(h.vx + h.vy + h.vz) {
+			t.Fatalf("halo %d velocity NaN", i)
+		}
+	}
+}
+
+func TestSnapshotHierarchy(t *testing.T) {
+	s := New(Config{N: 64, Seed: 6, FineFrac: 0.25})
+	h, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) != 2 {
+		t.Fatalf("levels %d", len(h.Levels))
+	}
+	if d := h.Density(0); math.Abs(d-0.25) > 0.05 {
+		t.Fatalf("fine density %g, want ~0.25", d)
+	}
+}
+
+func TestWrapDelta(t *testing.T) {
+	if d := wrapDelta(0.9); math.Abs(d-(-0.1)) > 1e-12 {
+		t.Fatalf("wrapDelta(0.9) = %g, want -0.1", d)
+	}
+	if d := wrapDelta(-0.9); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("wrapDelta(-0.9) = %g, want 0.1", d)
+	}
+	if wrapDelta(0.2) != 0.2 {
+		t.Fatal("small delta changed")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := (&Config{}).withDefaults()
+	if c.N != 64 || c.BlockB != 16 || c.FineFrac != 0.25 || c.Halos != 20 || c.Seed != 1 {
+		t.Fatalf("defaults %+v", c)
+	}
+}

@@ -1,0 +1,112 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range All {
+		f := Generate(kind, 16, 1)
+		if f.Nx != 16 || f.Ny != 16 || f.Nz != 16 {
+			t.Fatalf("%s: wrong shape %v", kind, f)
+		}
+		for i, v := range f.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite sample at %d: %v", kind, i, v)
+			}
+		}
+		if f.ValueRange() == 0 {
+			t.Fatalf("%s: constant field", kind)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range All {
+		a := Generate(kind, 12, 42)
+		b := Generate(kind, 12, 42)
+		if !a.Equal(b) {
+			t.Fatalf("%s: not deterministic for same seed", kind)
+		}
+		c := Generate(kind, 12, 43)
+		if a.Equal(c) {
+			t.Fatalf("%s: identical output for different seeds", kind)
+		}
+	}
+}
+
+func TestGenerateDims(t *testing.T) {
+	f := GenerateDims(WarpX, 8, 12, 20, 3)
+	if f.Nx != 8 || f.Ny != 12 || f.Nz != 20 {
+		t.Fatalf("wrong shape %v", f)
+	}
+}
+
+func TestGenerateUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown dataset")
+		}
+	}()
+	Generate(Dataset("bogus"), 8, 1)
+}
+
+func TestNyxPositiveWithHalos(t *testing.T) {
+	f := NyxDensity(32, 32, 32, 5)
+	min, max := f.Range()
+	if min <= 0 {
+		t.Fatalf("Nyx density must be positive, min=%g", min)
+	}
+	// Halos should produce strong overdensity: max well above the mean.
+	if max < 5*f.Mean() {
+		t.Fatalf("Nyx lacks overdense halos: max=%g mean=%g", max, f.Mean())
+	}
+}
+
+func TestWarpXOscillatory(t *testing.T) {
+	f := WarpXEz(32, 32, 32, 5)
+	min, max := f.Range()
+	if min >= 0 || max <= 0 {
+		t.Fatalf("WarpX Ez should oscillate around zero: [%g,%g]", min, max)
+	}
+	// Mean should be small relative to the amplitude.
+	if math.Abs(f.Mean()) > 0.05*max {
+		t.Fatalf("WarpX mean %g too large vs max %g", f.Mean(), max)
+	}
+}
+
+func TestRTTwoPhases(t *testing.T) {
+	f := RayleighTaylor(32, 32, 32, 5)
+	// Bottom should be light (≈1), top heavy (≈3).
+	bottom := f.At(16, 16, 1)
+	top := f.At(16, 16, 30)
+	if bottom > 1.5 || top < 2.5 {
+		t.Fatalf("RT phases wrong: bottom=%g top=%g", bottom, top)
+	}
+}
+
+func TestHurricaneSparse(t *testing.T) {
+	f := HurricaneField(32, 32, 32, 5)
+	zeros := 0
+	for _, v := range f.Data {
+		if v == 0 {
+			zeros++
+		}
+		if v < 0 {
+			t.Fatalf("negative wind speed %g", v)
+		}
+	}
+	// Paper: Hurricane has "numerous zero points".
+	if frac := float64(zeros) / float64(f.Len()); frac < 0.15 {
+		t.Fatalf("Hurricane not sparse enough: %.0f%% zeros", frac*100)
+	}
+}
+
+func TestS3DBounded(t *testing.T) {
+	f := S3DFlame(32, 32, 32, 5)
+	min, max := f.Range()
+	if min < -0.1 || max > 0.5 {
+		t.Fatalf("S3D mass fraction out of plausible range: [%g,%g]", min, max)
+	}
+}

@@ -1,0 +1,314 @@
+// Package repro is a Go reproduction of "A High-Quality Workflow for
+// Multi-Resolution Scientific Data Reduction and Visualization" (Wang et
+// al., SC 2024). It exposes the complete workflow of the paper's Fig. 3:
+//
+//  1. ROI extraction: uniform data → multi-resolution "adaptive" data by
+//     block range thresholding (§III), or direct ingestion of AMR data;
+//  2. SZ3MR compression: per-level unit-block merging with padding and an
+//     adaptive per-interpolation-level error bound for the SZ3 backend
+//     (§III-A), plus SZ2/ZFP backends and the AMRIC/TAC/zMesh baseline
+//     arrangements;
+//  3. Error-bounded adaptive Bézier post-processing of block-wise
+//     compression artifacts, with sampled intensity selection (§III-B);
+//  4. Uncertainty visualization: probabilistic marching cubes driven by the
+//     compression-error distribution estimated from the same samples
+//     (§III-C).
+//
+// The heavy lifting lives in internal packages (internal/core implements the
+// pipeline; internal/sz3, internal/sz2, internal/zfp are from-scratch
+// stand-ins for the reference compressors); this package is the stable
+// entry point used by the examples, commands, and benchmarks.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/postproc"
+	"repro/internal/roi"
+	"repro/internal/uncertainty"
+)
+
+// Field is a dense 3D scalar field (x fastest, row-major float64).
+type Field = field.Field
+
+// Hierarchy is a multi-resolution dataset (levels of blocks, 0 = finest).
+type Hierarchy = grid.Hierarchy
+
+// Intensity is the per-dimension post-processing strength a.
+type Intensity = postproc.Intensity
+
+// ErrorModel is the per-voxel Gaussian compression-error model.
+type ErrorModel = uncertainty.ErrorModel
+
+// NewField allocates a zero field; see field.New.
+func NewField(nx, ny, nz int) *Field { return field.New(nx, ny, nz) }
+
+// Compressor names a compression backend.
+type Compressor string
+
+// Supported backends.
+const (
+	SZ3 Compressor = "sz3" // global interpolation compressor (default)
+	SZ2 Compressor = "sz2" // block-wise Lorenzo/regression compressor
+	ZFP Compressor = "zfp" // block-wise transform compressor
+)
+
+// Arrangement names a unit-block layout for multi-resolution levels.
+type Arrangement string
+
+// Supported arrangements (Fig. 6 of the paper).
+const (
+	Linear   Arrangement = "linear"   // linear merge along z (SZ3MR, baseline)
+	Stack    Arrangement = "stack"    // AMRIC-style cubic stacking
+	TAC      Arrangement = "tac"      // TAC-style adjacency boxes
+	ZOrder1D Arrangement = "zorder1d" // zMesh-style 1D Morton flattening
+)
+
+// Options configures the workflow. The zero value plus an error bound gives
+// the paper's recommended configuration (SZ3MR with post-processing off).
+type Options struct {
+	// EB is the absolute error bound. Exactly one of EB / RelEB must be set.
+	EB float64
+	// RelEB, if nonzero, sets EB = RelEB × value range of the input.
+	RelEB float64
+	// Compressor selects the backend (default SZ3).
+	Compressor Compressor
+	// Arrangement selects the layout (default Linear).
+	Arrangement Arrangement
+	// Pad enables the padding improvement (§III-A improvement 1); it is
+	// applied only to linear merges with unit blocks > 4. Default on for
+	// SZ3 unless DisablePad.
+	DisablePad bool
+	// DisableAdaptiveEB turns off the per-level error bound (improvement 2).
+	DisableAdaptiveEB bool
+	// Alpha/Beta parameterize the adaptive bound (defaults 2.25 / 8).
+	Alpha, Beta float64
+	// PostProcess enables the error-bounded Bézier post-processing stage.
+	PostProcess bool
+	// ROIBlockB is the ROI/AMR block size for uniform inputs (default 16).
+	ROIBlockB int
+	// ROITopFrac is the fraction of blocks kept at full resolution when
+	// converting uniform data (default 0.5).
+	ROITopFrac float64
+	// Uncertainty enables the probabilistic-marching-cubes stage for the
+	// isovalue IsoValue.
+	Uncertainty bool
+	// IsoValue is the isovalue analyzed when Uncertainty is set.
+	IsoValue float64
+}
+
+func (o Options) coreOptions(eb float64) (core.Options, error) {
+	co := core.Options{EB: eb, Alpha: o.Alpha, Beta: o.Beta}
+	switch o.Compressor {
+	case "", SZ3:
+		co.Compressor = core.SZ3
+		co.Pad = !o.DisablePad
+		co.AdaptiveEB = !o.DisableAdaptiveEB
+	case SZ2:
+		co.Compressor = core.SZ2
+	case ZFP:
+		co.Compressor = core.ZFP
+	default:
+		return co, fmt.Errorf("repro: unknown compressor %q", o.Compressor)
+	}
+	switch o.Arrangement {
+	case "", Linear:
+		co.Arrangement = core.ArrangeLinear
+	case Stack:
+		co.Arrangement = core.ArrangeStack
+	case TAC:
+		co.Arrangement = core.ArrangeTAC
+	case ZOrder1D:
+		co.Arrangement = core.ArrangeZOrder1D
+	default:
+		return co, fmt.Errorf("repro: unknown arrangement %q", o.Arrangement)
+	}
+	return co, nil
+}
+
+// Result is the outcome of a workflow run.
+type Result struct {
+	// Blob is the self-describing compressed container.
+	Blob []byte
+	// Hierarchy is the decompressed multi-resolution data (post-processed
+	// if requested).
+	Hierarchy *Hierarchy
+	// Recon is the flattened full-resolution reconstruction.
+	Recon *Field
+	// CompressionRatio is raw multi-resolution payload bytes / Blob bytes.
+	CompressionRatio float64
+	// PSNR and SSIM compare Recon against the input (uniform inputs) or the
+	// flattened input hierarchy (AMR inputs).
+	PSNR, SSIM float64
+	// Intensities holds the selected per-level post-processing strengths.
+	Intensities []Intensity
+	// Model is the estimated compression-error model (when Uncertainty).
+	Model ErrorModel
+	// CrossProbabilities is the cell-centered isosurface-crossing
+	// probability field (when Uncertainty).
+	CrossProbabilities *Field
+	// Timing breaks down the run.
+	Timing Timing
+}
+
+// Timing records stage durations (the paper's Tables IV and IX).
+type Timing struct {
+	ROI         time.Duration // uniform → adaptive conversion
+	Preprocess  time.Duration // collect/merge/pad into compression buffers
+	SampleModel time.Duration // post-processing sampling + intensity fit
+	Compress    time.Duration // backend compression + container encode
+	Decompress  time.Duration // decode (includes post-processing if on)
+	PostProcess time.Duration // post-processing share of decode
+}
+
+// CompressUniform converts a uniform field to adaptive multi-resolution data
+// via ROI extraction and runs the workflow on it.
+func CompressUniform(f *Field, opt Options) (*Result, error) {
+	t0 := time.Now()
+	h, err := roi.Convert(f, roi.Options{BlockB: opt.ROIBlockB, TopFrac: opt.ROITopFrac})
+	if err != nil {
+		return nil, err
+	}
+	troi := time.Since(t0)
+	res, err := CompressAMR(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.ROI = troi
+	// Quality against the original uniform data.
+	res.PSNR = metrics.PSNR(f, res.Recon)
+	res.SSIM = metrics.SSIMCentral(f, res.Recon)
+	if opt.Uncertainty {
+		if err := res.analyzeUncertainty(opt); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// CompressAMR runs the workflow on existing multi-resolution data.
+func CompressAMR(h *Hierarchy, opt Options) (*Result, error) {
+	eb := opt.EB
+	if opt.RelEB != 0 {
+		if opt.EB != 0 {
+			return nil, errors.New("repro: set exactly one of EB and RelEB")
+		}
+		rng := 0.0
+		for li := range h.Levels {
+			if r := h.Levels[li].Data.ValueRange(); r > rng {
+				rng = r
+			}
+		}
+		eb = opt.RelEB * rng
+	}
+	if eb <= 0 {
+		return nil, errors.New("repro: error bound must be positive")
+	}
+	co, err := opt.coreOptions(eb)
+	if err != nil {
+		return nil, err
+	}
+
+	var res Result
+	t0 := time.Now()
+	prep, err := core.Prepare(h, co)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Preprocess = time.Since(t0)
+
+	if opt.PostProcess {
+		t0 = time.Now()
+		res.Intensities, err = prep.FindIntensities()
+		if err != nil {
+			return nil, err
+		}
+		res.Timing.SampleModel = time.Since(t0)
+	}
+
+	t0 = time.Now()
+	c, err := prep.Compress()
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Compress = time.Since(t0)
+	res.Blob = c.Blob
+	res.CompressionRatio = c.Ratio(h)
+
+	t0 = time.Now()
+	if opt.PostProcess {
+		tp := time.Now()
+		plain, err := core.Decompress(c.Blob)
+		if err != nil {
+			return nil, err
+		}
+		_ = plain
+		basis := time.Since(tp)
+		res.Hierarchy, err = core.DecompressProcessed(c.Blob, res.Intensities)
+		if err != nil {
+			return nil, err
+		}
+		res.Timing.PostProcess = time.Since(tp) - basis // incremental cost
+	} else {
+		res.Hierarchy, err = core.Decompress(c.Blob)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Timing.Decompress = time.Since(t0)
+
+	res.Recon = res.Hierarchy.Flatten()
+	ref := h.Flatten()
+	res.PSNR = metrics.PSNR(ref, res.Recon)
+	res.SSIM = metrics.SSIMCentral(ref, res.Recon)
+	if opt.Uncertainty {
+		if err := res.analyzeUncertainty(opt); err != nil {
+			return nil, err
+		}
+	}
+	return &res, nil
+}
+
+// analyzeUncertainty estimates the error model from the reconstruction and
+// computes cell-crossing probabilities on the flattened reconstruction.
+func (r *Result) analyzeUncertainty(opt Options) error {
+	eb := opt.EB
+	if eb == 0 {
+		eb = opt.RelEB * r.Recon.ValueRange()
+	}
+	// Error std-dev heuristic when no sample set is available: a normal fit
+	// to a uniform error over ±eb (σ = eb/√3) bounds the truth; refined
+	// models come from postproc samples via the uncertainty package.
+	r.Model = ErrorModel{StdDev: eb / 1.732}
+	p, err := uncertainty.CrossProbabilities(r.Recon, opt.IsoValue, r.Model)
+	if err != nil {
+		return err
+	}
+	r.CrossProbabilities = p
+	return nil
+}
+
+// Decompress reconstructs the hierarchy from a compressed container.
+func Decompress(blob []byte) (*Hierarchy, error) { return core.Decompress(blob) }
+
+// ConvertROI exposes the uniform→adaptive conversion alone.
+func ConvertROI(f *Field, blockB int, topFrac float64) (*Hierarchy, error) {
+	return roi.Convert(f, roi.Options{BlockB: blockB, TopFrac: topFrac})
+}
+
+// PSNR, SSIM, and CompressionRatio re-export the evaluation metrics.
+func PSNR(a, b *Field) float64 { return metrics.PSNR(a, b) }
+
+// SSIM computes the mean SSIM over all z slices.
+func SSIM(a, b *Field) float64 { return metrics.SSIM3D(a, b) }
+
+// CompressionRatio is originalBytes/compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	return metrics.CompressionRatio(originalBytes, compressedBytes)
+}
