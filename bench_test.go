@@ -215,6 +215,72 @@ func BenchmarkSSIM(b *testing.B) {
 	}
 }
 
+// --- core parallel-pipeline benchmarks ---------------------------------------
+//
+// These measure the tentpole claim directly: container compression /
+// decompression over a ≥128³ AMR hierarchy, serial vs pooled. The TAC
+// arrangement is used because it produces many independent streams (one per
+// adjacency box), which is where per-stream parallelism pays off. Compare:
+//
+//	go test -bench 'CoreCompressWorkers|CoreDecompressWorkers' -benchtime 3x
+//
+// The Workers knob never changes the container bytes (see
+// TestWorkersByteIdenticalContainers), only the wall clock.
+
+func benchParallelHierarchy(b *testing.B) (*grid.Hierarchy, float64) {
+	b.Helper()
+	n := benchSize()
+	if n < 128 {
+		n = 128
+	}
+	f := synth.Generate(synth.Nyx, n, 42)
+	h, err := grid.BuildAMR(f, 16, []float64{0.25, 0.75})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h, f.ValueRange() * 1e-3
+}
+
+func benchCoreCompressWorkers(b *testing.B, workers int) {
+	h, eb := benchParallelHierarchy(b)
+	opt := core.TACSZ3Options(eb)
+	opt.Workers = workers
+	prep, err := core.Prepare(h, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(h.PayloadBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Compress(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreCompressWorkers1(b *testing.B)   { benchCoreCompressWorkers(b, 1) }
+func BenchmarkCoreCompressWorkers4(b *testing.B)   { benchCoreCompressWorkers(b, 4) }
+func BenchmarkCoreCompressWorkersMax(b *testing.B) { benchCoreCompressWorkers(b, 0) }
+
+func benchCoreDecompressWorkers(b *testing.B, workers int) {
+	h, eb := benchParallelHierarchy(b)
+	c, err := core.CompressHierarchy(h, core.TACSZ3Options(eb))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(h.PayloadBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DecompressWorkers(c.Blob, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreDecompressWorkers1(b *testing.B)   { benchCoreDecompressWorkers(b, 1) }
+func BenchmarkCoreDecompressWorkers4(b *testing.B)   { benchCoreDecompressWorkers(b, 4) }
+func BenchmarkCoreDecompressWorkersMax(b *testing.B) { benchCoreDecompressWorkers(b, 0) }
+
 func BenchmarkROIConvert(b *testing.B) {
 	f := benchField(b)
 	b.SetBytes(int64(f.Bytes()))

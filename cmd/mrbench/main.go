@@ -3,7 +3,7 @@
 // Usage:
 //
 //	mrbench -list
-//	mrbench -exp fig15 [-size 64] [-seed 42] [-out dir]
+//	mrbench -exp fig15 [-size 64] [-seed 42] [-out dir] [-workers N]
 //	mrbench -exp all
 //
 // Each experiment prints tab-separated rows matching the corresponding
@@ -21,11 +21,12 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list available experiments")
-		exp  = flag.String("exp", "", "experiment id to run, or 'all'")
-		size = flag.Int("size", 64, "fine-grid edge (multiple of 16; power of two for spectra)")
-		seed = flag.Int64("seed", 42, "synthetic-data seed")
-		out  = flag.String("out", "", "directory for rendered PNG artifacts (optional)")
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		size    = flag.Int("size", 64, "fine-grid edge (multiple of 16; power of two for spectra)")
+		seed    = flag.Int64("seed", 42, "synthetic-data seed")
+		out     = flag.String("out", "", "directory for rendered PNG artifacts (optional)")
+		workers = flag.Int("workers", 0, "concurrent compression workers (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	cfg := experiments.Config{Size: *size, Seed: *seed, OutDir: *out}
+	cfg := experiments.Config{Size: *size, Seed: *seed, OutDir: *out, Workers: *workers}
 
 	if *exp == "all" {
 		for _, e := range experiments.All() {

@@ -5,7 +5,7 @@
 // internal/field) into a workflow container:
 //
 //	mrcompress -c -i field.bin -o field.mrw -releb 1e-3 [-compressor sz3]
-//	           [-roiblock 16] [-roifrac 0.5] [-post]
+//	           [-roiblock 16] [-roifrac 0.5] [-post] [-workers N]
 //
 // Decompress a container back to a full-resolution raw field:
 //
@@ -41,6 +41,7 @@ func main() {
 		post    = flag.Bool("post", false, "enable error-bounded post-processing")
 		size    = flag.Int("size", 64, "edge size for -gen")
 		seed    = flag.Int64("seed", 42, "seed for -gen")
+		workers = flag.Int("workers", 0, "concurrent compression workers (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 			ROIBlockB:   *roiB,
 			ROITopFrac:  *roiFrac,
 			PostProcess: *post,
+			Workers:     *workers,
 		}
 		if *abseb > 0 {
 			opt.EB = *abseb
@@ -90,7 +92,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		h, err := repro.Decompress(blob)
+		h, err := repro.DecompressWorkers(blob, *workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -26,11 +26,22 @@ import (
 	"repro/internal/field"
 	"repro/internal/grid"
 	"repro/internal/layout"
+	"repro/internal/parallel"
 	"repro/internal/postproc"
 	"repro/internal/sz2"
 	"repro/internal/sz3"
 	"repro/internal/zfp"
 )
+
+// containerVersion is the current container format version. Version 2
+// widened SZ2BlockSize from a single (silently truncating) byte to a
+// uvarint; version-1 containers remain readable.
+const containerVersion = 2
+
+// maxSZ2BlockSize bounds the v2 SZ2BlockSize field on both write and read:
+// large enough for any real block size, small enough that a corrupt uvarint
+// can neither wrap int nor smuggle an absurd value past the header scan.
+const maxSZ2BlockSize = 1 << 30
 
 // Compressor selects the backend lossy compressor.
 type Compressor byte
@@ -110,6 +121,11 @@ type Options struct {
 	SZ2BlockSize int
 	// Interp selects the SZ3 interpolant (default linear).
 	Interp sz3.Interpolant
+	// Workers bounds the number of goroutines compressing (or decompressing)
+	// backend streams concurrently — one stream per merged level, one per
+	// TAC box. Default runtime.GOMAXPROCS(0); 1 gives fully serial
+	// execution. The container bytes are identical for every Workers value.
+	Workers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -122,6 +138,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if v.SZ2BlockSize == 0 {
 		v.SZ2BlockSize = sz2.MultiResBlockSize
+	}
+	if v.Workers == 0 {
+		v.Workers = parallel.Workers()
 	}
 	return v
 }
@@ -264,25 +283,70 @@ type Compressed struct {
 // Size returns the container size in bytes.
 func (c *Compressed) Size() int { return len(c.Blob) }
 
+// compressJob names one backend stream to produce: a level's merged field
+// (box < 0) or one TAC box.
+type compressJob struct {
+	level, box int
+	f          *field.Field
+}
+
+// jobs lists every stream the container will carry, in serialization order.
+func (p *Prepared) jobs() []compressJob {
+	var jobs []compressJob
+	for li, pl := range p.levels {
+		if p.opt.Arrangement == ArrangeTAC {
+			for bi, bf := range pl.boxFld {
+				jobs = append(jobs, compressJob{li, bi, bf})
+			}
+			continue
+		}
+		if pl.merged != nil {
+			jobs = append(jobs, compressJob{li, -1, pl.merged})
+		}
+	}
+	return jobs
+}
+
 // Compress runs the compression stage over prepared buffers and serializes
-// everything into a container.
+// everything into a container. Streams are compressed by a pool of
+// p.opt.Workers goroutines and collected in order, so the container is
+// byte-identical for every worker count.
 func (p *Prepared) Compress() (*Compressed, error) {
+	o := p.opt
+	if o.SZ2BlockSize < 0 || o.SZ2BlockSize > maxSZ2BlockSize {
+		return nil, fmt.Errorf("core: SZ2 block size %d out of range [0, %d]", o.SZ2BlockSize, maxSZ2BlockSize)
+	}
+	jobs := p.jobs()
+	streams, err := parallel.MapErrWorkers(len(jobs), o.Workers, func(i int) ([]byte, error) {
+		j := jobs[i]
+		s, err := compressField(j.f, o)
+		if err != nil {
+			if j.box >= 0 {
+				return nil, fmt.Errorf("core: level %d box %d: %w", j.level, j.box, err)
+			}
+			return nil, fmt.Errorf("core: level %d: %w", j.level, err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var buf bytes.Buffer
 	buf.WriteString("MRWF")
-	buf.WriteByte(1) // version
-	o := p.opt
+	buf.WriteByte(containerVersion)
 	buf.WriteByte(byte(o.Compressor))
 	buf.WriteByte(byte(o.Arrangement))
 	buf.WriteByte(boolByte(o.Pad))
 	buf.WriteByte(byte(o.PadKind))
 	buf.WriteByte(boolByte(o.AdaptiveEB))
-	buf.WriteByte(byte(o.SZ2BlockSize))
-	buf.WriteByte(byte(o.Interp))
 	var tmp [binary.MaxVarintLen64]byte
 	writeU := func(v uint64) {
 		n := binary.PutUvarint(tmp[:], v)
 		buf.Write(tmp[:n])
 	}
+	writeU(uint64(o.SZ2BlockSize)) // v2: uvarint (v1 wrote a truncating byte)
+	buf.WriteByte(byte(o.Interp))
 	writeF := func(v float64) {
 		var b8 [8]byte
 		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
@@ -300,6 +364,7 @@ func (p *Prepared) Compress() (*Compressed, error) {
 	nbx := p.nx / p.blockB
 	nby := p.ny / p.blockB
 	levelBytes := make([]int, len(p.levels))
+	next := 0
 	for li, pl := range p.levels {
 		// Block list as deltas of flat indices (raster order for linear /
 		// stack; Morton order for zorder — order matters, so store as-is).
@@ -314,14 +379,12 @@ func (p *Prepared) Compress() (*Compressed, error) {
 		buf.WriteByte(boolByte(pl.padded))
 		if p.opt.Arrangement == ArrangeTAC {
 			writeU(uint64(len(pl.boxes)))
-			for bi, b := range pl.boxes {
+			for _, b := range pl.boxes {
 				for _, v := range []int{b.X0, b.Y0, b.Z0, b.WX, b.WY, b.WZ} {
 					writeU(uint64(v))
 				}
-				stream, err := compressField(pl.boxFld[bi], p.opt)
-				if err != nil {
-					return nil, fmt.Errorf("core: level %d box %d: %w", li, bi, err)
-				}
+				stream := streams[next]
+				next++
 				writeU(uint64(len(stream)))
 				buf.Write(stream)
 				levelBytes[li] += len(stream)
@@ -332,10 +395,8 @@ func (p *Prepared) Compress() (*Compressed, error) {
 			writeU(0)
 			continue
 		}
-		stream, err := compressField(pl.merged, p.opt)
-		if err != nil {
-			return nil, fmt.Errorf("core: level %d: %w", li, err)
-		}
+		stream := streams[next]
+		next++
 		writeU(uint64(len(stream)))
 		buf.Write(stream)
 		levelBytes[li] += len(stream)
@@ -353,12 +414,21 @@ func CompressHierarchy(h *grid.Hierarchy, opt Options) (*Compressed, error) {
 }
 
 // postHook transforms a level's decoded field (after unpadding, before
-// unmerging) — the insertion point for error-bounded post-processing.
+// unmerging) — the insertion point for error-bounded post-processing. Hooks
+// may be invoked concurrently from several decode workers and must be safe
+// for parallel use.
 type postHook func(level, unitSize int, opt Options, f *field.Field) *field.Field
 
-// Decompress reconstructs the multi-resolution hierarchy from a container.
+// Decompress reconstructs the multi-resolution hierarchy from a container,
+// decoding backend streams with the default worker count.
 func Decompress(blob []byte) (*grid.Hierarchy, error) {
-	return decompressImpl(blob, nil)
+	return decompressImpl(blob, nil, 0)
+}
+
+// DecompressWorkers is Decompress with an explicit bound on concurrent
+// stream decoders (1 = serial, 0 = runtime.GOMAXPROCS(0)).
+func DecompressWorkers(blob []byte, workers int) (*grid.Hierarchy, error) {
+	return decompressImpl(blob, nil, workers)
 }
 
 // PostBlockSize returns the block size whose boundaries the post-processor
@@ -443,6 +513,12 @@ func largestField(fs []*field.Field) *field.Field {
 // with the given per-level intensities to each level's decoded array before
 // reassembly.
 func DecompressProcessed(blob []byte, intens []postproc.Intensity) (*grid.Hierarchy, error) {
+	return DecompressProcessedWorkers(blob, intens, 0)
+}
+
+// DecompressProcessedWorkers is DecompressProcessed with an explicit bound
+// on concurrent stream decoders.
+func DecompressProcessedWorkers(blob []byte, intens []postproc.Intensity, workers int) (*grid.Hierarchy, error) {
 	hook := func(level, unitSize int, opt Options, f *field.Field) *field.Field {
 		if level >= len(intens) {
 			return f
@@ -454,15 +530,39 @@ func DecompressProcessed(blob []byte, intens []postproc.Intensity) (*grid.Hierar
 		bs := PostBlockSize(opt, unitSize)
 		return postproc.Process(f, a, postproc.Options{EB: opt.EB, BlockSize: bs})
 	}
-	return decompressImpl(blob, hook)
+	return decompressImpl(blob, hook, workers)
 }
 
-func decompressImpl(blob []byte, post postHook) (*grid.Hierarchy, error) {
+// decodedLevel is one level's parsed container metadata plus its raw
+// (still-compressed) payload slices.
+type decodedLevel struct {
+	blocks [][3]int
+	padded bool
+	boxes  []layout.Box
+	// streams holds one compressed payload per TAC box, or a single entry
+	// for the level's merged field (empty for an empty level).
+	streams [][]byte
+}
+
+// container is the fully scanned (but not yet decoded) container.
+type container struct {
+	version byte
+	opt     Options
+	levels  []decodedLevel
+}
+
+// parseContainer scans the container serially: header, per-level block
+// lists, box geometry, and the offsets of every compressed stream. All
+// structural validation happens here so the concurrent decode stage only
+// sees well-delimited payloads. It returns the parsed structure and the
+// allocated (still empty) hierarchy.
+func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 	if len(blob) < 12 || string(blob[:4]) != "MRWF" {
-		return nil, errors.New("core: bad magic")
+		return nil, nil, errors.New("core: bad magic")
 	}
-	if blob[4] != 1 {
-		return nil, fmt.Errorf("core: unsupported version %d", blob[4])
+	version := blob[4]
+	if version != 1 && version != containerVersion {
+		return nil, nil, fmt.Errorf("core: unsupported version %d", version)
 	}
 	buf := blob[5:]
 	need := func(n int) error {
@@ -470,26 +570,6 @@ func decompressImpl(blob []byte, post postHook) (*grid.Hierarchy, error) {
 			return errors.New("core: truncated container")
 		}
 		return nil
-	}
-	if err := need(7); err != nil {
-		return nil, err
-	}
-	var opt Options
-	opt.Compressor = Compressor(buf[0])
-	opt.Arrangement = Arrangement(buf[1])
-	opt.Pad = buf[2] != 0
-	opt.PadKind = layout.PadKind(buf[3])
-	opt.AdaptiveEB = buf[4] != 0
-	opt.SZ2BlockSize = int(buf[5])
-	opt.Interp = sz3.Interpolant(buf[6])
-	buf = buf[7:]
-	readF := func() (float64, error) {
-		if err := need(8); err != nil {
-			return 0, err
-		}
-		v := math.Float64frombits(binary.LittleEndian.Uint64(buf))
-		buf = buf[8:]
-		return v, nil
 	}
 	readU := func() (uint64, error) {
 		v, n := binary.Uvarint(buf)
@@ -507,131 +587,235 @@ func decompressImpl(blob []byte, post postHook) (*grid.Hierarchy, error) {
 		buf = buf[n:]
 		return v, nil
 	}
+	readF := func() (float64, error) {
+		if err := need(8); err != nil {
+			return 0, err
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+		return v, nil
+	}
+	if err := need(5); err != nil {
+		return nil, nil, err
+	}
+	c := &container{version: version}
+	opt := &c.opt
+	opt.Compressor = Compressor(buf[0])
+	opt.Arrangement = Arrangement(buf[1])
+	opt.Pad = buf[2] != 0
+	opt.PadKind = layout.PadKind(buf[3])
+	opt.AdaptiveEB = buf[4] != 0
+	buf = buf[5:]
+	if version == 1 {
+		// v1 stored SZ2BlockSize in one byte (values > 255 wrapped on write).
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		opt.SZ2BlockSize = int(buf[0])
+		opt.Interp = sz3.Interpolant(buf[1])
+		buf = buf[2:]
+	} else {
+		bs, err := readU()
+		if err != nil {
+			return nil, nil, err
+		}
+		if bs > maxSZ2BlockSize {
+			return nil, nil, fmt.Errorf("core: implausible SZ2 block size %d", bs)
+		}
+		opt.SZ2BlockSize = int(bs)
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		opt.Interp = sz3.Interpolant(buf[0])
+		buf = buf[1:]
+	}
 	var err error
 	if opt.EB, err = readF(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if opt.Alpha, err = readF(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if opt.Beta, err = readF(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dims := make([]int, 5)
 	for i := range dims {
 		v, err := readU()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		dims[i] = int(v)
 	}
 	nx, ny, nz, blockB, nLevels := dims[0], dims[1], dims[2], dims[3], dims[4]
 	h, err := grid.New(nx, ny, nz, blockB, nLevels)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 	nbx, nby, nbz := h.NumBlocks()
 
 	for li := 0; li < nLevels; li++ {
+		var dl decodedLevel
 		nBlocks64, err := readU()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if nBlocks64 > uint64(nbx*nby*nbz) { // compare unsigned: int(nBlocks64) may wrap negative
+			return nil, nil, errors.New("core: implausible block count")
 		}
 		nBlocks := int(nBlocks64)
-		if nBlocks > nbx*nby*nbz {
-			return nil, errors.New("core: implausible block count")
-		}
-		blocks := make([][3]int, nBlocks)
+		dl.blocks = make([][3]int, nBlocks)
 		prev := int64(0)
-		for i := range blocks {
+		for i := range dl.blocks {
 			d, err := readV()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			prev += d
 			flat := int(prev)
 			if flat < 0 || flat >= nbx*nby*nbz {
-				return nil, errors.New("core: block index out of range")
+				return nil, nil, errors.New("core: block index out of range")
 			}
-			blocks[i] = [3]int{flat % nbx, (flat / nbx) % nby, flat / (nbx * nby)}
+			dl.blocks[i] = [3]int{flat % nbx, (flat / nbx) % nby, flat / (nbx * nby)}
 		}
 		if err := need(1); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		padded := buf[0] != 0
+		dl.padded = buf[0] != 0
 		buf = buf[1:]
 
 		if opt.Arrangement == ArrangeTAC {
 			nBoxes64, err := readU()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
+			}
+			// Same unsigned comparison as the block count: a box never holds
+			// fewer than one unit block, so the level-0 block total bounds it.
+			if nBoxes64 > uint64(nbx*nby*nbz) {
+				return nil, nil, errors.New("core: implausible box count")
 			}
 			for bi := 0; bi < int(nBoxes64); bi++ {
 				var vals [6]int
 				for i := range vals {
 					v, err := readU()
 					if err != nil {
-						return nil, err
+						return nil, nil, err
 					}
 					vals[i] = int(v)
 				}
-				b := layout.Box{X0: vals[0], Y0: vals[1], Z0: vals[2], WX: vals[3], WY: vals[4], WZ: vals[5]}
+				dl.boxes = append(dl.boxes, layout.Box{X0: vals[0], Y0: vals[1], Z0: vals[2], WX: vals[3], WY: vals[4], WZ: vals[5]})
 				slen, err := readU()
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				if uint64(len(buf)) < slen {
-					return nil, errors.New("core: truncated box stream")
+					return nil, nil, errors.New("core: truncated box stream")
 				}
-				f, err := decompressField(buf[:slen], opt)
-				if err != nil {
-					return nil, fmt.Errorf("core: level %d box %d: %w", li, bi, err)
-				}
+				dl.streams = append(dl.streams, buf[:slen])
 				buf = buf[slen:]
-				if post != nil {
-					f = post(li, h.UnitBlockSize(li), opt, f)
-				}
-				if err := layout.InsertBox(h, li, b, f); err != nil {
-					return nil, err
-				}
 			}
+			c.levels = append(c.levels, dl)
 			continue
 		}
 
 		slen, err := readU()
 		if err != nil {
+			return nil, nil, err
+		}
+		if slen != 0 {
+			if uint64(len(buf)) < slen {
+				return nil, nil, errors.New("core: truncated level stream")
+			}
+			dl.streams = append(dl.streams, buf[:slen])
+			buf = buf[slen:]
+		}
+		c.levels = append(c.levels, dl)
+	}
+	return c, h, nil
+}
+
+func decompressImpl(blob []byte, post postHook, workers int) (*grid.Hierarchy, error) {
+	c, h, err := parseContainer(blob)
+	if err != nil {
+		return nil, err
+	}
+	opt := c.opt
+	if workers == 0 {
+		workers = parallel.Workers()
+	} else if workers < 0 {
+		workers = 1 // match the compress side's clamp to serial
+	}
+
+	// Decode stage: streams decompress (and unpad / post-process)
+	// concurrently on a bounded pool, mirroring the parallel write side.
+	// Work proceeds in waves of `workers` streams, each wave's fields
+	// unmerged into the hierarchy and released before the next decodes, so
+	// peak memory holds at most `workers` decoded fields beyond the
+	// destination hierarchy (Workers=1 is fully streaming, as the serial
+	// decoder was). Unmerge/insert itself stays serial: it writes into the
+	// shared hierarchy, and its cost is dwarfed by backend decoding.
+	type decodeJob struct {
+		level, box int
+		stream     []byte
+	}
+	var jobs []decodeJob
+	for li := range c.levels {
+		dl := &c.levels[li]
+		if opt.Arrangement == ArrangeTAC {
+			for bi := range dl.streams {
+				jobs = append(jobs, decodeJob{li, bi, dl.streams[bi]})
+			}
+			continue
+		}
+		if len(dl.streams) == 1 {
+			jobs = append(jobs, decodeJob{li, -1, dl.streams[0]})
+		}
+	}
+	for start := 0; start < len(jobs); start += workers {
+		end := min(start+workers, len(jobs))
+		wave, err := parallel.MapErrWorkers(end-start, workers, func(i int) (*field.Field, error) {
+			j := jobs[start+i]
+			f, err := decompressField(j.stream, opt)
+			if err != nil {
+				if j.box >= 0 {
+					return nil, fmt.Errorf("core: level %d box %d: %w", j.level, j.box, err)
+				}
+				return nil, fmt.Errorf("core: level %d: %w", j.level, err)
+			}
+			if j.box < 0 && c.levels[j.level].padded {
+				f = layout.UnpadXY(f)
+			}
+			if post != nil {
+				f = post(j.level, h.UnitBlockSize(j.level), opt, f)
+			}
+			return f, nil
+		})
+		if err != nil {
 			return nil, err
 		}
-		if slen == 0 {
-			continue // empty level
-		}
-		if uint64(len(buf)) < slen {
-			return nil, errors.New("core: truncated level stream")
-		}
-		f, err := decompressField(buf[:slen], opt)
-		if err != nil {
-			return nil, fmt.Errorf("core: level %d: %w", li, err)
-		}
-		buf = buf[slen:]
-		if padded {
-			f = layout.UnpadXY(f)
-		}
-		if post != nil {
-			f = post(li, h.UnitBlockSize(li), opt, f)
-		}
-		m := &layout.Merged{Data: f, U: h.UnitBlockSize(li), Blocks: blocks}
-		switch opt.Arrangement {
-		case ArrangeLinear:
-			err = layout.LinearUnmerge(m, h, li)
-		case ArrangeStack:
-			err = layout.StackUnmerge(m, h, li)
-		case ArrangeZOrder1D:
-			err = layout.ZOrderUnflatten1D(m, h, li)
-		default:
-			err = fmt.Errorf("core: unknown arrangement %d", opt.Arrangement)
-		}
-		if err != nil {
-			return nil, err
+		for i, f := range wave {
+			j := jobs[start+i]
+			dl := &c.levels[j.level]
+			if j.box >= 0 {
+				if err := layout.InsertBox(h, j.level, dl.boxes[j.box], f); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			m := &layout.Merged{Data: f, U: h.UnitBlockSize(j.level), Blocks: dl.blocks}
+			switch opt.Arrangement {
+			case ArrangeLinear:
+				err = layout.LinearUnmerge(m, h, j.level)
+			case ArrangeStack:
+				err = layout.StackUnmerge(m, h, j.level)
+			case ArrangeZOrder1D:
+				err = layout.ZOrderUnflatten1D(m, h, j.level)
+			default:
+				err = fmt.Errorf("core: unknown arrangement %d", opt.Arrangement)
+			}
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	return h, nil

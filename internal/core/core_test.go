@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 
@@ -251,6 +253,208 @@ func TestOptionStringers(t *testing.T) {
 	}
 	if ArrangeLinear.String() != "linear" || ArrangeTAC.String() != "tac" {
 		t.Fatal("arrangement stringer broken")
+	}
+}
+
+func TestWorkersByteIdenticalContainers(t *testing.T) {
+	// The worker pool must never change the serialized container: Workers=1
+	// and Workers=N are required to produce byte-identical blobs for every
+	// arrangement, and decoding with any worker count must reconstruct the
+	// same hierarchy.
+	h := amrHierarchy(t, 64, 21)
+	eb := h.Levels[0].Data.ValueRange() * 1e-3
+	for _, arr := range []Arrangement{ArrangeLinear, ArrangeStack, ArrangeTAC, ArrangeZOrder1D} {
+		serial := Options{EB: eb, Arrangement: arr, Workers: 1}
+		c1, err := CompressHierarchy(h, serial)
+		if err != nil {
+			t.Fatalf("%v workers=1: %v", arr, err)
+		}
+		for _, workers := range []int{2, 8} {
+			opt := serial
+			opt.Workers = workers
+			cn, err := CompressHierarchy(h, opt)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", arr, workers, err)
+			}
+			if !bytes.Equal(c1.Blob, cn.Blob) {
+				t.Fatalf("%v: workers=1 and workers=%d containers differ (%d vs %d bytes)",
+					arr, workers, len(c1.Blob), len(cn.Blob))
+			}
+		}
+		g1, err := DecompressWorkers(c1.Blob, 1)
+		if err != nil {
+			t.Fatalf("%v decode workers=1: %v", arr, err)
+		}
+		for _, workers := range []int{8, -3} { // negative must clamp to serial, not hang
+			gn, err := DecompressWorkers(c1.Blob, workers)
+			if err != nil {
+				t.Fatalf("%v decode workers=%d: %v", arr, workers, err)
+			}
+			if !ownershipEqual(g1, gn) || maxLevelError(g1, gn) != 0 {
+				t.Fatalf("%v: decode differs between worker counts", arr)
+			}
+		}
+	}
+}
+
+func TestSZ2BlockSizeLargeHeaderRoundTrip(t *testing.T) {
+	// v1 wrote SZ2BlockSize as one byte, so 256 wrapped to 0 and a
+	// round-trip decoded with the wrong block size. v2 stores a uvarint.
+	h := amrHierarchy(t, 64, 22)
+	eb := h.Levels[0].Data.ValueRange() * 1e-3
+	for _, bs := range []int{200, 256, 300, 1 << 20} {
+		opt := Options{EB: eb, Compressor: SZ2, SZ2BlockSize: bs}
+		c, err := CompressHierarchy(h, opt)
+		if err != nil {
+			t.Fatalf("bs=%d: %v", bs, err)
+		}
+		parsed, _, err := parseContainer(c.Blob)
+		if err != nil {
+			t.Fatalf("bs=%d: %v", bs, err)
+		}
+		if parsed.version != containerVersion {
+			t.Fatalf("bs=%d: container version %d", bs, parsed.version)
+		}
+		if parsed.opt.SZ2BlockSize != bs {
+			t.Fatalf("bs=%d: header round-tripped to %d", bs, parsed.opt.SZ2BlockSize)
+		}
+		g, err := Decompress(c.Blob)
+		if err != nil {
+			t.Fatalf("bs=%d: %v", bs, err)
+		}
+		if d := maxLevelError(h, g); d > eb*(1+1e-12) {
+			t.Fatalf("bs=%d: max error %g exceeds %g", bs, d, eb)
+		}
+	}
+	if _, err := CompressHierarchy(h, Options{EB: eb, Compressor: SZ2, SZ2BlockSize: -4}); err == nil {
+		t.Fatal("negative SZ2 block size accepted")
+	}
+	if _, err := CompressHierarchy(h, Options{EB: eb, Compressor: SZ2, SZ2BlockSize: 1 << 40}); err == nil {
+		t.Fatal("absurd SZ2 block size accepted")
+	}
+}
+
+func TestV1ContainerReadPath(t *testing.T) {
+	// For SZ2BlockSize < 128 the uvarint encoding is the same single byte
+	// v1 wrote, so rewriting the version byte of a v2 container yields a
+	// valid v1 container; the v1 read path must decode it identically.
+	h := amrHierarchy(t, 64, 23)
+	eb := h.Levels[0].Data.ValueRange() * 1e-3
+	c, err := CompressHierarchy(h, SZ3MROptions(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), c.Blob...)
+	v1[4] = 1
+	parsed, _, err := parseContainer(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.version != 1 || parsed.opt.SZ2BlockSize != 4 {
+		t.Fatalf("v1 parse: version=%d SZ2BlockSize=%d", parsed.version, parsed.opt.SZ2BlockSize)
+	}
+	g2, err := Decompress(c.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := Decompress(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ownershipEqual(g1, g2) || maxLevelError(g1, g2) != 0 {
+		t.Fatal("v1 and v2 decodes differ")
+	}
+	v1[4] = 3
+	if _, err := Decompress(v1); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestOverflowingBlockCountRejectedOnRead(t *testing.T) {
+	// A per-level block-count uvarint ≥ 2^63 wraps negative as int; the
+	// guard must compare unsigned and error rather than panic in make().
+	c, err := CompressHierarchy(corruptionHierarchyForOverflow(t), Options{EB: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := append([]byte(nil), c.Blob...)
+	// Locate the first level's block-count uvarint: it follows the fixed
+	// header (5+5+1 bytes + 3 float64s) and 5 dimension uvarints.
+	off := 4 + 1 + 5 + 1 + 1 + 3*8
+	for i := 0; i < 5; i++ {
+		_, n := binary.Uvarint(blob[off:])
+		off += n
+	}
+	crafted := append(append([]byte(nil), blob[:off]...), binary.AppendUvarint(nil, 1<<63)...)
+	crafted = append(crafted, blob[off:]...)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("overflowing block count panicked: %v", r)
+		}
+	}()
+	if _, err := Decompress(crafted); err == nil {
+		t.Fatal("overflowing block count accepted")
+	}
+}
+
+func TestOverflowingBoxCountRejectedOnRead(t *testing.T) {
+	// The TAC box count needs the same unsigned guard as the block count:
+	// a wrapped-negative count previously skipped all boxes and misparsed
+	// the rest of the container without error.
+	h := corruptionHierarchyForOverflow(t)
+	c, err := CompressHierarchy(h, Options{EB: 0.01, Arrangement: ArrangeTAC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := append([]byte(nil), c.Blob...)
+	// Walk to level 0's box count: fixed header, 5 dim uvarints, block
+	// count + that many varint deltas, padded byte.
+	off := 4 + 1 + 5 + 1 + 1 + 3*8
+	skipUv := func() uint64 {
+		v, n := binary.Uvarint(blob[off:])
+		off += n
+		return v
+	}
+	for i := 0; i < 5; i++ {
+		skipUv()
+	}
+	nBlocks := skipUv()
+	for i := uint64(0); i < nBlocks; i++ {
+		_, n := binary.Varint(blob[off:])
+		off += n
+	}
+	off++ // padded flag
+	crafted := append(append([]byte(nil), blob[:off]...), binary.AppendUvarint(nil, 1<<63)...)
+	crafted = append(crafted, blob[off:]...)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("overflowing box count panicked: %v", r)
+		}
+	}()
+	if _, err := Decompress(crafted); err == nil {
+		t.Fatal("overflowing box count accepted")
+	}
+}
+
+func corruptionHierarchyForOverflow(t *testing.T) *grid.Hierarchy {
+	t.Helper()
+	f := synth.Generate(synth.Nyx, 32, 30)
+	h, err := grid.BuildAMR(f, 8, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestImplausibleSZ2BlockSizeRejectedOnRead(t *testing.T) {
+	// Hand-craft a v2 header whose SZ2BlockSize uvarint is absurdly large:
+	// the header scan must reject it rather than wrap or pass it through.
+	blob := []byte("MRWF")
+	blob = append(blob, 2, 0, 0, 0, 0, 0) // version + 5 option bytes
+	blob = binary.AppendUvarint(blob, 1<<40)
+	blob = append(blob, make([]byte, 40)...) // interp byte + padding past the min-length check
+	if _, err := Decompress(blob); err == nil {
+		t.Fatal("implausible SZ2 block size accepted")
 	}
 }
 

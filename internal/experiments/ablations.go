@@ -42,7 +42,7 @@ func runAblPadKind(w io.Writer, cfg Config) error {
 		{"quadratic", layout.PadQuadratic},
 	} {
 		for _, rel := range []float64{2e-3, 5e-3, 1e-2} {
-			opts := core.SZ3MROptions(rel * rng)
+			opts := cfg.tuned(core.SZ3MROptions)(rel * rng)
 			opts.PadKind = k.kind
 			cr, psnr, err := compressOverall(h, opts)
 			if err != nil {
@@ -67,7 +67,7 @@ func runAblPadThreshold(w io.Writer, cfg Config) error {
 	printHeader(w, "Ablation: pad threshold on the u=4 level (RT)", "policy", "relEB", "CR", "PSNR")
 	for _, rel := range []float64{2e-3, 5e-3, 1e-2} {
 		// Default policy: pad only u > 4.
-		def := core.SZ3MROptions(rel * rng)
+		def := cfg.tuned(core.SZ3MROptions)(rel * rng)
 		cr, psnr, err := compressOverall(h, def)
 		if err != nil {
 			return err
@@ -110,7 +110,7 @@ func runAblAlphaBeta(w io.Writer, cfg Config) error {
 	rel := 2e-3
 	for _, alpha := range []float64{1.25, 1.75, 2.25, 3.0} {
 		for _, beta := range []float64{2, 4, 8, 16} {
-			opts := core.SZ3MROptions(rel * rng)
+			opts := cfg.tuned(core.SZ3MROptions)(rel * rng)
 			opts.Alpha, opts.Beta = alpha, beta
 			cr, psnr, err := compressOverall(h, opts)
 			if err != nil {
@@ -136,7 +136,7 @@ func runAblInterp(w io.Writer, cfg Config) error {
 		interp sz3.Interpolant
 	}{{"linear", sz3.Linear}, {"cubic", sz3.Cubic}} {
 		for _, rel := range []float64{5e-4, 2e-3, 5e-3} {
-			opts := core.SZ3MROptions(rel * rng)
+			opts := cfg.tuned(core.SZ3MROptions)(rel * rng)
 			opts.Interp = in.interp
 			cr, psnr, err := compressOverall(h, opts)
 			if err != nil {
@@ -190,7 +190,7 @@ func runAblArrange(w io.Writer, cfg Config) error {
 		"arrangement", "relEB", "CR", "PSNR")
 	for _, arr := range []core.Arrangement{core.ArrangeLinear, core.ArrangeStack, core.ArrangeTAC, core.ArrangeZOrder1D} {
 		for _, rel := range []float64{1e-3, 5e-3} {
-			opts := core.Options{EB: rel * rng, Compressor: core.SZ3, Arrangement: arr}
+			opts := core.Options{EB: rel * rng, Compressor: core.SZ3, Arrangement: arr, Workers: cfg.Workers}
 			cr, psnr, err := compressOverall(h, opts)
 			if err != nil {
 				return err

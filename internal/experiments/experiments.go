@@ -34,6 +34,14 @@ type Config struct {
 	Seed int64
 	// OutDir, when non-empty, receives rendered PNG artifacts.
 	OutDir string
+	// Workers bounds concurrent backend compression/decompression streams
+	// (0 = all cores, 1 = serial). For the core container pipeline the
+	// results are identical for every value — only wall-clock timings
+	// change. The chunked-parallel variants of Table IX are the exception:
+	// there Workers also sets the z-slab count, which changes the blobs
+	// (each slab loses cross-slab prediction context, the paper's OpenMP
+	// ratio-loss effect).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,17 +135,26 @@ type method struct {
 	opts func(eb float64) core.Options
 }
 
-func sz3Methods(includeTAC bool) []method {
+// tuned applies the run's worker bound to a preset constructor.
+func (c Config) tuned(mk func(eb float64) core.Options) func(eb float64) core.Options {
+	return func(eb float64) core.Options {
+		o := mk(eb)
+		o.Workers = c.Workers
+		return o
+	}
+}
+
+func sz3Methods(cfg Config, includeTAC bool) []method {
 	ms := []method{
-		{"Baseline-SZ3", core.BaselineSZ3Options},
-		{"AMRIC-SZ3", core.AMRICSZ3Options},
+		{"Baseline-SZ3", cfg.tuned(core.BaselineSZ3Options)},
+		{"AMRIC-SZ3", cfg.tuned(core.AMRICSZ3Options)},
 	}
 	if includeTAC {
-		ms = append(ms, method{"TAC-SZ3", core.TACSZ3Options})
+		ms = append(ms, method{"TAC-SZ3", cfg.tuned(core.TACSZ3Options)})
 	}
 	ms = append(ms,
-		method{"Ours(pad)", core.SZ3MRPadOnlyOptions},
-		method{"Ours(pad+eb)", core.SZ3MROptions},
+		method{"Ours(pad)", cfg.tuned(core.SZ3MRPadOnlyOptions)},
+		method{"Ours(pad+eb)", cfg.tuned(core.SZ3MROptions)},
 	)
 	return ms
 }
@@ -198,7 +215,7 @@ func levelPSNRAndCR(h *grid.Hierarchy, opts core.Options) (cr, psnr []float64, e
 	if err != nil {
 		return nil, nil, err
 	}
-	g, err := core.Decompress(c.Blob)
+	g, err := core.DecompressWorkers(c.Blob, opts.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -227,7 +244,7 @@ func compressOverall(h *grid.Hierarchy, opts core.Options) (float64, float64, er
 	if err != nil {
 		return 0, 0, err
 	}
-	g, err := core.Decompress(c.Blob)
+	g, err := core.DecompressWorkers(c.Blob, opts.Workers)
 	if err != nil {
 		return 0, 0, err
 	}

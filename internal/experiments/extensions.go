@@ -39,11 +39,11 @@ func runExtHalo(w io.Writer, cfg Config) error {
 	printHeader(w, "Halo-finder preservation (Nyx-T2, SZ3MR)",
 		"relEB", "CR", "origHalos", "decompHalos", "matchRate", "massErr", "centerDist")
 	for _, rel := range []float64{5e-4, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2} {
-		c, err := core.CompressHierarchy(h, core.SZ3MROptions(rel*rng))
+		c, err := core.CompressHierarchy(h, cfg.tuned(core.SZ3MROptions)(rel*rng))
 		if err != nil {
 			return err
 		}
-		g, err := core.Decompress(c.Blob)
+		g, err := core.DecompressWorkers(c.Blob, cfg.Workers)
 		if err != nil {
 			return err
 		}

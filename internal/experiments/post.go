@@ -184,7 +184,7 @@ func runTable5(w io.Writer, cfg Config) error {
 	printHeader(w, "Table V: post-processing of AMRIC-SZ2 on Nyx-T1 AMR levels",
 		"relEB", "level", "CR", "PSNR-AMRIC-SZ2", "PSNR-Post-SZ2")
 	for _, rel := range relEBSweep {
-		opts := core.AMRICSZ2Options(rel * rng)
+		opts := cfg.tuned(core.AMRICSZ2Options)(rel * rng)
 		prep, err := core.Prepare(h, opts)
 		if err != nil {
 			return err
@@ -197,11 +197,11 @@ func runTable5(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		plain, err := core.Decompress(c.Blob)
+		plain, err := core.DecompressWorkers(c.Blob, cfg.Workers)
 		if err != nil {
 			return err
 		}
-		proc, err := core.DecompressProcessed(c.Blob, intens)
+		proc, err := core.DecompressProcessedWorkers(c.Blob, intens, cfg.Workers)
 		if err != nil {
 			return err
 		}
@@ -243,8 +243,8 @@ func runTable7(w io.Writer, cfg Config) error {
 			mk   func(float64) core.Options
 			mul  float64 // sweep scale: ZFP needs looser tolerances (see fig12)
 		}{
-			{"ZFP", core.MRZFPOptions, 4},
-			{"SZ2", core.AMRICSZ2Options, 1},
+			{"ZFP", cfg.tuned(core.MRZFPOptions), 4},
+			{"SZ2", cfg.tuned(core.AMRICSZ2Options), 1},
 		} {
 			for _, rel := range relEBSweep {
 				rel *= comp.mul
@@ -261,11 +261,11 @@ func runTable7(w io.Writer, cfg Config) error {
 				if err != nil {
 					return err
 				}
-				plain, err := core.Decompress(c.Blob)
+				plain, err := core.DecompressWorkers(c.Blob, cfg.Workers)
 				if err != nil {
 					return err
 				}
-				proc, err := core.DecompressProcessed(c.Blob, intens)
+				proc, err := core.DecompressProcessedWorkers(c.Blob, intens, cfg.Workers)
 				if err != nil {
 					return err
 				}
@@ -318,13 +318,19 @@ func runTable9(w io.Writer, cfg Config) error {
 	rng := f.ValueRange()
 	printHeader(w, "Table IX: post-processing overhead (seconds, S3D)",
 		"variant", "relEB", "io", "comp+decomp", "sample+model", "process", "overhead")
+	// Slab count for the parallel variants: the run's -workers bound when
+	// set, else 2× cores (oversubscription evens out slab imbalance).
+	pw := cfg.Workers
+	if pw <= 0 {
+		pw = parallel.Workers() * 2
+	}
 	variants := []struct {
 		name    string
 		comp    core.Compressor
 		workers int
 	}{
-		{"ZFP(parallel)", core.ZFP, parallel.Workers() * 2},
-		{"SZ2(parallel)", core.SZ2, parallel.Workers() * 2},
+		{"ZFP(parallel)", core.ZFP, pw},
+		{"SZ2(parallel)", core.SZ2, pw},
 		{"SZ2(serial)", core.SZ2, 1},
 	}
 	for _, v := range variants {

@@ -35,7 +35,7 @@ func runFig15(w io.Writer, cfg Config) error {
 	rng := hierarchyRange(h)
 	printHeader(w, "Fig 15: Nyx-T1 in-situ AMR rate-distortion",
 		"method", "relEB", "level", "CR", "PSNR")
-	for _, m := range sz3Methods(false) {
+	for _, m := range sz3Methods(cfg, false) {
 		for _, rel := range relEBSweep {
 			crs, psnrs, err := levelPSNRAndCR(h, m.opts(rel*rng))
 			if err != nil {
@@ -48,7 +48,7 @@ func runFig15(w io.Writer, cfg Config) error {
 	}
 	// Ours (processed): SZ3MR + error-bounded post-processing.
 	for _, rel := range relEBSweep {
-		opts := core.SZ3MROptions(rel * rng)
+		opts := cfg.tuned(core.SZ3MROptions)(rel * rng)
 		prep, err := core.Prepare(h, opts)
 		if err != nil {
 			return err
@@ -61,7 +61,7 @@ func runFig15(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		g, err := core.DecompressProcessed(c.Blob, intens)
+		g, err := core.DecompressProcessedWorkers(c.Blob, intens, cfg.Workers)
 		if err != nil {
 			return err
 		}
@@ -94,9 +94,9 @@ func runFig17(w io.Writer, cfg Config) error {
 	printHeader(w, "Fig 17: adaptive-data rate-distortion",
 		"dataset", "method", "relEB", "CR", "PSNR")
 	methods := []method{
-		{"Baseline-SZ3", core.BaselineSZ3Options},
-		{"Ours(pad)", core.SZ3MRPadOnlyOptions},
-		{"Ours(pad+eb)", core.SZ3MROptions},
+		{"Baseline-SZ3", cfg.tuned(core.BaselineSZ3Options)},
+		{"Ours(pad)", cfg.tuned(core.SZ3MRPadOnlyOptions)},
+		{"Ours(pad+eb)", cfg.tuned(core.SZ3MROptions)},
 	}
 	for _, ds := range []struct {
 		name string
@@ -133,7 +133,7 @@ func runFig18(w io.Writer, cfg Config) error {
 			return err
 		}
 		rng := hierarchyRange(h)
-		for _, m := range sz3Methods(true) {
+		for _, m := range sz3Methods(cfg, true) {
 			for _, rel := range relEBSweep {
 				cr, psnr, err := compressOverall(h, m.opts(rel*rng))
 				if err != nil {
@@ -158,7 +158,7 @@ func runFig5(w io.Writer, cfg Config) error {
 	const targetCR = 60
 	printHeader(w, "Fig 5: quality at matched CR (Nyx fine level)",
 		"method", "CR", "SSIM", "PSNR")
-	for _, m := range sz3Methods(true) {
+	for _, m := range sz3Methods(cfg, true) {
 		eb, err := ebForTargetCR(h, m.opts, targetCR)
 		if err != nil {
 			return err
@@ -167,7 +167,7 @@ func runFig5(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		g, err := core.Decompress(c.Blob)
+		g, err := core.DecompressWorkers(c.Blob, cfg.Workers)
 		if err != nil {
 			return err
 		}
@@ -192,8 +192,8 @@ func runFig16(w io.Writer, cfg Config) error {
 	printHeader(w, "Fig 16: WarpX Ez visual quality at matched CR",
 		"method", "CR", "SSIM", "PSNR")
 	for _, m := range []method{
-		{"SZ3", core.BaselineSZ3Options},
-		{"Ours(SZ3MR)", core.SZ3MROptions},
+		{"SZ3", cfg.tuned(core.BaselineSZ3Options)},
+		{"Ours(SZ3MR)", cfg.tuned(core.SZ3MROptions)},
 	} {
 		eb, err := ebForTargetCR(h, m.opts, targetCR)
 		if err != nil {
@@ -203,7 +203,7 @@ func runFig16(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		g, err := core.Decompress(c.Blob)
+		g, err := core.DecompressWorkers(c.Blob, cfg.Workers)
 		if err != nil {
 			return err
 		}
@@ -236,8 +236,8 @@ func runTable4(w io.Writer, cfg Config) error {
 		rel   float64
 	}{{"big", 5e-3}, {"small", 2.5e-4}} {
 		for _, m := range []method{
-			{"AMRIC", core.AMRICSZ3Options},
-			{"Ours", core.SZ3MROptions},
+			{"AMRIC", cfg.tuned(core.AMRICSZ3Options)},
+			{"Ours", cfg.tuned(core.SZ3MROptions)},
 		} {
 			opts := m.opts(eb.rel * rng)
 			var pre, cw time.Duration
@@ -286,7 +286,7 @@ func runTable6(w io.Writer, cfg Config) error {
 	const targetCR = 120
 	printHeader(w, "Table VI: power-spectrum error at matched CR (k<10)",
 		"method", "CR", "avg rel err", "max rel err")
-	for _, m := range sz3Methods(true) {
+	for _, m := range sz3Methods(cfg, true) {
 		if m.name == "Ours(pad)" {
 			continue // the paper's table compares the three baselines vs pad+eb
 		}
@@ -298,7 +298,7 @@ func runTable6(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		g, err := core.Decompress(c.Blob)
+		g, err := core.DecompressWorkers(c.Blob, cfg.Workers)
 		if err != nil {
 			return err
 		}

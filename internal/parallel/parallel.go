@@ -5,6 +5,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers returns the degree of parallelism to use: GOMAXPROCS.
@@ -62,4 +63,59 @@ func Map[T any](n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	ForEach(n, func(i int) { out[i] = fn(i) })
 	return out
+}
+
+// MapErr is MapErrWorkers with the default Workers() bound.
+func MapErr[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapErrWorkers(n, Workers(), fn)
+}
+
+// MapErrWorkers runs fn(i) for i in [0, n) across at most `workers`
+// goroutines and collects the results in index order, so the output is
+// independent of the worker count. Jobs are handed out one at a time from a
+// shared counter (not in contiguous chunks) because callers typically have
+// few, unevenly sized jobs — e.g. one compression stream per level or box.
+// If any job fails, the error from the lowest failing index is returned and
+// the results are discarded; every job still runs (fn must not assume
+// earlier indices succeeded).
+func MapErrWorkers[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, max(n, 0))
+	if n <= 0 {
+		return out, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := range out {
+			out[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

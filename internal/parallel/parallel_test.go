@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -56,5 +58,61 @@ func TestMapOrdered(t *testing.T) {
 func TestWorkersPositive(t *testing.T) {
 	if Workers() < 1 {
 		t.Fatal("Workers must be >= 1")
+	}
+}
+
+func TestMapErrWorkersOrderedForAnyWorkerCount(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 100} {
+		out, err := MapErrWorkers(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrWorkersLowestErrorWins(t *testing.T) {
+	boom := errors.New("boom 7")
+	for _, workers := range []int{1, 4} {
+		_, err := MapErrWorkers(20, workers, func(i int) (int, error) {
+			if i >= 7 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != boom.Error() {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+func TestMapErrWorkersEmpty(t *testing.T) {
+	out, err := MapErrWorkers(0, 4, func(i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	out, err = MapErrWorkers(-3, 4, func(i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMapErrRunsEveryJob(t *testing.T) {
+	const n = 300
+	var hits [n]int32
+	if _, err := MapErr(n, func(i int) (struct{}, error) {
+		atomic.AddInt32(&hits[i], 1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
 	}
 }

@@ -11,9 +11,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/field"
+	"repro/internal/parallel"
 )
 
 // Codec adapts a single-field compressor.
@@ -44,27 +44,20 @@ func Compress(f *field.Field, codec Codec, workers int) ([]byte, error) {
 	for i := 0; i <= workers; i++ {
 		bounds[i] = i * f.Nz / workers
 	}
-	chunks := make([][]byte, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
+	chunks, err := parallel.MapErrWorkers(workers, workers, func(i int) ([]byte, error) {
 		lo, hi := bounds[i], bounds[i+1]
 		if lo >= hi {
-			chunks[i] = nil
-			continue
+			return nil, nil
 		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			slab := f.SubBlock(0, 0, lo, f.Nx, f.Ny, hi-lo)
-			chunks[i], errs[i] = codec.Compress(slab)
-		}(i, lo, hi)
-	}
-	wg.Wait()
-	for i, err := range errs {
+		slab := f.SubBlock(0, 0, lo, f.Nx, f.Ny, hi-lo)
+		c, err := codec.Compress(slab)
 		if err != nil {
 			return nil, fmt.Errorf("parallelcomp: slab %d: %w", i, err)
 		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []byte
 	out = append(out, magic...)
@@ -127,25 +120,21 @@ func Decompress(blob []byte, codec Codec) (*field.Field, error) {
 		buf = buf[l:]
 	}
 	out := field.New(nx, ny, nz)
-	slabs := make([]*field.Field, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for i := range chunks {
+	slabs, err := parallel.MapErrWorkers(workers, workers, func(i int) (*field.Field, error) {
 		if len(chunks[i]) == 0 {
-			continue
+			return nil, nil
 		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			slabs[i], errs[i] = codec.Decompress(chunks[i])
-		}(i)
+		s, err := codec.Decompress(chunks[i])
+		if err != nil {
+			return nil, fmt.Errorf("parallelcomp: slab %d: %w", i, err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	z := 0
 	for i := range chunks {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("parallelcomp: slab %d: %w", i, errs[i])
-		}
 		s := slabs[i]
 		if s == nil {
 			continue

@@ -112,11 +112,21 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 		}
 	})
 
-	// Container.
+	// Container. Block sizes ≤ 255 keep the historical single-byte
+	// encoding (so every previously written stream stays decodable);
+	// larger sizes — which the old writer silently truncated to their low
+	// byte — are escaped with 0x00 (never a legal size, bs ≥ 2) followed
+	// by a uvarint.
 	var payload bytes.Buffer
 	payload.WriteString(magic)
-	payload.WriteByte(byte(bs))
 	var tmp [8]byte
+	if bs <= 0xFF {
+		payload.WriteByte(byte(bs))
+	} else {
+		payload.WriteByte(0)
+		n := binary.PutUvarint(tmp[:], uint64(bs))
+		payload.Write(tmp[:n])
+	}
 	for _, v := range []uint64{uint64(nx), uint64(ny), uint64(nz)} {
 		n := binary.PutUvarint(tmp[:], v)
 		payload.Write(tmp[:n])
@@ -163,8 +173,7 @@ func Decompress(data []byte) (*field.Field, error) {
 	if len(payload) < 5 || string(payload[:4]) != magic {
 		return nil, errors.New("sz2: bad magic")
 	}
-	bs := int(payload[4])
-	buf := payload[5:]
+	buf := payload[4:]
 	readUvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(buf)
 		if n <= 0 {
@@ -172,6 +181,18 @@ func Decompress(data []byte) (*field.Field, error) {
 		}
 		buf = buf[n:]
 		return v, nil
+	}
+	bs := int(buf[0])
+	buf = buf[1:]
+	if bs == 0 { // escape: block size > 255 follows as a uvarint
+		bs64, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if bs64 <= 0xFF || bs64 > math.MaxInt32 { // reject wrap-around and non-canonical escapes
+			return nil, errors.New("sz2: invalid header")
+		}
+		bs = int(bs64)
 	}
 	nx64, err := readUvarint()
 	if err != nil {
@@ -309,14 +330,27 @@ func Decompress(data []byte) (*field.Field, error) {
 // by the post-processor to locate block boundaries.
 func BlockSizeOf(data []byte) (int, error) {
 	fr := flate.NewReader(bytes.NewReader(data))
-	hdr := make([]byte, 5)
-	if _, err := io.ReadFull(fr, hdr); err != nil {
+	hdr := make([]byte, 5+binary.MaxVarintLen64)
+	n, err := io.ReadFull(fr, hdr)
+	if err == io.ErrUnexpectedEOF && n >= 5 {
+		hdr = hdr[:n] // tiny stream: header may be shorter than the max varint
+	} else if err != nil {
 		return 0, err
 	}
 	if string(hdr[:4]) != magic {
 		return 0, errors.New("sz2: bad magic")
 	}
-	return int(hdr[4]), nil
+	if hdr[4] != 0 {
+		return int(hdr[4]), nil
+	}
+	bs, vn := binary.Uvarint(hdr[5:]) // escaped: block size > 255
+	if vn <= 0 {
+		return 0, errors.New("sz2: truncated header")
+	}
+	if bs <= 0xFF || bs > math.MaxInt32 { // escape only legal for 256..MaxInt32
+		return 0, errors.New("sz2: invalid block size")
+	}
+	return int(bs), nil
 }
 
 // lorenzo computes the 3D Lorenzo prediction from reconstructed neighbors;

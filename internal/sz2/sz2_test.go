@@ -40,6 +40,33 @@ func TestRoundTripWithinBound(t *testing.T) {
 	}
 }
 
+func TestBlockSizeAbove255(t *testing.T) {
+	// Block sizes > 255 use the escaped header encoding (the old writer
+	// silently truncated them to their low byte).
+	f := smoothField(17)
+	eb := 1e-3
+	for _, want := range []int{200, 256, 1000} {
+		data, err := Compress(f, Options{EB: eb, BlockSize: want})
+		if err != nil {
+			t.Fatalf("bs=%d: %v", want, err)
+		}
+		bs, err := BlockSizeOf(data)
+		if err != nil {
+			t.Fatalf("bs=%d: %v", want, err)
+		}
+		if bs != want {
+			t.Fatalf("BlockSizeOf = %d, want %d", bs, want)
+		}
+		g, err := Decompress(data)
+		if err != nil {
+			t.Fatalf("bs=%d: %v", want, err)
+		}
+		if d := f.MaxAbsDiff(g); d > eb*(1+1e-12) {
+			t.Fatalf("bs=%d: max error %g", want, d)
+		}
+	}
+}
+
 func TestBlockSize4(t *testing.T) {
 	f := smoothField(17) // not a multiple of 4: partial blocks
 	eb := 1e-3

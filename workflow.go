@@ -18,6 +18,21 @@
 // pipeline; internal/sz3, internal/sz2, internal/zfp are from-scratch
 // stand-ins for the reference compressors); this package is the stable
 // entry point used by the examples, commands, and benchmarks.
+//
+// # Concurrency
+//
+// The compression and decompression stages run multi-core by default,
+// standing in for the paper's OpenMP parallelization: every backend stream
+// (one per merged level for the linear/stack/zorder arrangements, one per
+// box for TAC) is compressed or decoded by a bounded goroutine pool.
+// Options.Workers caps the pool (0 = runtime.GOMAXPROCS(0), 1 = fully
+// serial — the paper's "Serial" configurations). The worker count never
+// changes the output: containers are byte-identical and reconstructions
+// bit-identical for every Workers value, so parallelism is purely a
+// throughput knob. Chunked slab parallelism for single uniform fields
+// (which *does* trade compression ratio for speed, as §IV-C notes for
+// OpenMP SZ2) lives separately in internal/parallelcomp; both are built on
+// the shared worker pool in internal/parallel.
 package repro
 
 import (
@@ -101,10 +116,14 @@ type Options struct {
 	Uncertainty bool
 	// IsoValue is the isovalue analyzed when Uncertainty is set.
 	IsoValue float64
+	// Workers bounds the number of goroutines compressing or decoding
+	// backend streams concurrently (0 = runtime.GOMAXPROCS(0), 1 = serial).
+	// The compressed container is byte-identical for every value.
+	Workers int
 }
 
 func (o Options) coreOptions(eb float64) (core.Options, error) {
-	co := core.Options{EB: eb, Alpha: o.Alpha, Beta: o.Beta}
+	co := core.Options{EB: eb, Alpha: o.Alpha, Beta: o.Beta, Workers: o.Workers}
 	switch o.Compressor {
 	case "", SZ3:
 		co.Compressor = core.SZ3
@@ -244,19 +263,19 @@ func CompressAMR(h *Hierarchy, opt Options) (*Result, error) {
 	t0 = time.Now()
 	if opt.PostProcess {
 		tp := time.Now()
-		plain, err := core.Decompress(c.Blob)
+		plain, err := core.DecompressWorkers(c.Blob, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
 		_ = plain
 		basis := time.Since(tp)
-		res.Hierarchy, err = core.DecompressProcessed(c.Blob, res.Intensities)
+		res.Hierarchy, err = core.DecompressProcessedWorkers(c.Blob, res.Intensities, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
 		res.Timing.PostProcess = time.Since(tp) - basis // incremental cost
 	} else {
-		res.Hierarchy, err = core.Decompress(c.Blob)
+		res.Hierarchy, err = core.DecompressWorkers(c.Blob, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -296,6 +315,12 @@ func (r *Result) analyzeUncertainty(opt Options) error {
 
 // Decompress reconstructs the hierarchy from a compressed container.
 func Decompress(blob []byte) (*Hierarchy, error) { return core.Decompress(blob) }
+
+// DecompressWorkers is Decompress with an explicit bound on concurrent
+// stream decoders (0 = runtime.GOMAXPROCS(0), 1 = serial).
+func DecompressWorkers(blob []byte, workers int) (*Hierarchy, error) {
+	return core.DecompressWorkers(blob, workers)
+}
 
 // ConvertROI exposes the uniform→adaptive conversion alone.
 func ConvertROI(f *Field, blockB int, topFrac float64) (*Hierarchy, error) {

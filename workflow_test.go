@@ -1,12 +1,45 @@
 package repro
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"repro/internal/grid"
 	"repro/internal/synth"
 )
+
+func TestWorkersKnobDoesNotChangeOutput(t *testing.T) {
+	f := synth.Generate(synth.Nyx, 64, 17)
+	h, err := grid.BuildAMR(f, 16, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blobs [][]byte
+	for _, workers := range []int{1, 4} {
+		res, err := CompressAMR(h, Options{RelEB: 1e-3, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blobs = append(blobs, res.Blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatalf("Workers=1 and Workers=4 containers differ (%d vs %d bytes)",
+			len(blobs[0]), len(blobs[1]))
+	}
+	g1, err := DecompressWorkers(blobs[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := DecompressWorkers(blobs[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g1.Flatten(), g4.Flatten()
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("decode differs between worker counts")
+	}
+}
 
 func TestCompressUniformDefaultWorkflow(t *testing.T) {
 	f := synth.Generate(synth.Nyx, 64, 1)
