@@ -22,6 +22,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/field"
 	"repro/internal/grid"
+	"repro/internal/huffman"
 	"repro/internal/mcubes"
 	"repro/internal/metrics"
 	"repro/internal/postproc"
@@ -280,6 +281,46 @@ func benchCoreDecompressWorkers(b *testing.B, workers int) {
 func BenchmarkCoreDecompressWorkers1(b *testing.B)   { benchCoreDecompressWorkers(b, 1) }
 func BenchmarkCoreDecompressWorkers4(b *testing.B)   { benchCoreDecompressWorkers(b, 4) }
 func BenchmarkCoreDecompressWorkersMax(b *testing.B) { benchCoreDecompressWorkers(b, 0) }
+
+// --- entropy-stage benchmarks -------------------------------------------------
+//
+// These measure the Huffman entropy stage in isolation on a realistic
+// quantization-code stream: the codes sz3 produces for a 128³ Nyx field at a
+// 1e-3 relative error bound. Throughput is reported over the raw int32
+// payload. The committed BENCH_entropy.json records the trajectory (see
+// README "Performance"); regenerate with `mrbench -exp entropy -json FILE`.
+
+func huffmanBenchCodes(b *testing.B) []int32 {
+	b.Helper()
+	f := synth.Generate(synth.Nyx, 128, 42)
+	eb := f.ValueRange() * 1e-3
+	codes, err := sz3.Codes(f, sz3.Options{EB: eb})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return codes
+}
+
+func BenchmarkHuffmanEncode(b *testing.B) {
+	codes := huffmanBenchCodes(b)
+	b.SetBytes(int64(len(codes) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		huffman.Encode(codes)
+	}
+}
+
+func BenchmarkHuffmanDecode(b *testing.B) {
+	codes := huffmanBenchCodes(b)
+	enc := huffman.Encode(codes)
+	b.SetBytes(int64(len(codes) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := huffman.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkROIConvert(b *testing.B) {
 	f := benchField(b)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/benchfmt"
 	"repro/internal/experiments"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "synthetic-data seed")
 		out     = flag.String("out", "", "directory for rendered PNG artifacts (optional)")
 		workers = flag.Int("workers", 0, "concurrent compression workers (0 = all cores, 1 = serial)")
+		jsonOut = flag.String("json", "", "write machine-readable results to this file (supported by -exp entropy)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,31 @@ func main() {
 		}
 	}
 	cfg := experiments.Config{Size: *size, Seed: *seed, OutDir: *out, Workers: *workers}
+
+	if *jsonOut != "" {
+		if *exp != "entropy" {
+			fatal(fmt.Errorf("-json is currently supported only with -exp entropy (got %q)", *exp))
+		}
+		// Create the output file up front so a bad path fails before the
+		// multi-second benchmark run, not after.
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := experiments.EntropyBench(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteEntropyTSV(os.Stdout, rep)
+		if err := benchfmt.Write(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mrbench: wrote %s\n", *jsonOut)
+		return
+	}
 
 	if *exp == "all" {
 		for _, e := range experiments.All() {

@@ -1,0 +1,76 @@
+// Package benchfmt emits machine-readable benchmark results, so performance
+// work on the hot paths leaves a committed, diffable trajectory instead of
+// numbers buried in PR descriptions. BENCH_entropy.json at the repo root is
+// the first consumer (see README "Performance"); `mrbench -json FILE`
+// produces fresh reports in the same schema.
+package benchfmt
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name identifies the operation, e.g. "huffman_decode".
+	Name string `json:"name"`
+	// Iters is how many timed iterations the measurement averaged over.
+	Iters int `json:"iters"`
+	// NsPerOp is the mean wall-clock time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Bytes is the payload size processed per operation (0 if not set).
+	Bytes int64 `json:"bytes,omitempty"`
+	// MBPerS is Bytes/NsPerOp scaled to MB/s (0 if Bytes is unset).
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is one benchmark run: a labeled set of results plus the
+// configuration that produced them.
+type Report struct {
+	// Variant labels the code state measured, e.g. "pre-entropy-overhaul".
+	Variant string `json:"variant,omitempty"`
+	// Config records workload parameters (size, seed, ...).
+	Config  map[string]any `json:"config,omitempty"`
+	Results []Result       `json:"results"`
+}
+
+// Trajectory is the schema of committed BENCH_*.json files: the same
+// workload measured across code states, oldest first.
+type Trajectory struct {
+	Workload string   `json:"workload"`
+	Runs     []Report `json:"runs"`
+}
+
+// Add appends a measurement to the report. bytes may be 0 for operations
+// without a natural payload size.
+func (r *Report) Add(name string, iters int, elapsed time.Duration, bytes int64) {
+	res := Result{
+		Name:    name,
+		Iters:   iters,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
+		Bytes:   bytes,
+	}
+	if bytes > 0 && res.NsPerOp > 0 {
+		res.MBPerS = float64(bytes) / res.NsPerOp * 1e3 // B/ns → MB/s
+	}
+	r.Results = append(r.Results, res)
+}
+
+// Write serializes the report as indented JSON.
+func Write(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Measure times fn (after one untimed warm-up call) over iters iterations
+// and records the result.
+func (r *Report) Measure(name string, iters int, bytes int64, fn func()) {
+	fn()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	r.Add(name, iters, time.Since(start), bytes)
+}

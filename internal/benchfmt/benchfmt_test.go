@@ -1,0 +1,63 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestAddComputesThroughput(t *testing.T) {
+	var r Report
+	r.Add("op", 10, 10*time.Millisecond, 2_000_000)
+	res := r.Results[0]
+	if res.NsPerOp != 1e6 {
+		t.Fatalf("ns/op = %v", res.NsPerOp)
+	}
+	// 2 MB per op at 1 ms per op → 2000 MB/s.
+	if res.MBPerS < 1999 || res.MBPerS > 2001 {
+		t.Fatalf("MB/s = %v", res.MBPerS)
+	}
+}
+
+func TestAddWithoutBytes(t *testing.T) {
+	var r Report
+	r.Add("op", 1, time.Millisecond, 0)
+	if r.Results[0].MBPerS != 0 {
+		t.Fatalf("MB/s should be 0 without bytes")
+	}
+}
+
+func TestMeasureRunsWarmupPlusIters(t *testing.T) {
+	var r Report
+	calls := 0
+	r.Measure("op", 3, 0, func() { calls++ })
+	if calls != 4 { // 1 warm-up + 3 timed
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if r.Results[0].Iters != 3 {
+		t.Fatalf("iters = %d", r.Results[0].Iters)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	traj := Trajectory{
+		Workload: "w",
+		Runs: []Report{{
+			Variant: "v1",
+			Config:  map[string]any{"size": 128},
+			Results: []Result{{Name: "op", Iters: 2, NsPerOp: 5, Bytes: 10, MBPerS: 2000}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, traj); err != nil {
+		t.Fatal(err)
+	}
+	var back Trajectory
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != "w" || len(back.Runs) != 1 || back.Runs[0].Results[0].Name != "op" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

@@ -97,3 +97,222 @@ func TestPosTracksBits(t *testing.T) {
 		t.Fatalf("Pos = %d, want 5", r.Pos())
 	}
 }
+
+func TestBytesNonAliasing(t *testing.T) {
+	// Regression: the padded final byte used to be appended into the
+	// writer's spare capacity, so a later WriteBit could clobber the
+	// previously returned slice.
+	w := NewWriter()
+	w.WriteBits(0b1010101, 7) // partial byte forces padding
+	snap := w.Bytes()
+	got := append([]byte(nil), snap...)
+	for i := 0; i < 64; i++ {
+		w.WriteBit(1)
+	}
+	for i := range snap {
+		if snap[i] != got[i] {
+			t.Fatalf("byte %d of snapshot changed after later writes: %08b -> %08b", i, got[i], snap[i])
+		}
+	}
+}
+
+func TestReadBitsZeroAndFull(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0, 0) // n = 0 write is a no-op
+	if w.Len() != 0 {
+		t.Fatalf("Len after zero-bit write = %d", w.Len())
+	}
+	const v uint64 = 0xDEADBEEFCAFEF00D
+	w.WriteBits(v, 64)
+	r := NewReader(w.Bytes())
+	if got := r.Peek(0); got != 0 {
+		t.Fatalf("Peek(0) = %d", got)
+	}
+	if got, err := r.ReadBits(0); err != nil || got != 0 {
+		t.Fatalf("ReadBits(0) = %d, %v", got, err)
+	}
+	if got, err := r.ReadBits(64); err != nil || got != v {
+		t.Fatalf("ReadBits(64) = %#x, %v; want %#x", got, err, v)
+	}
+	if _, err := r.ReadBits(1); err != ErrOutOfBits {
+		t.Fatalf("read past end: %v", err)
+	}
+}
+
+func TestReadBits64Unaligned(t *testing.T) {
+	// A 64-bit read at a non-zero bit offset must straddle nine bytes.
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	const v = 0x0123456789ABCDEF
+	w.WriteBits(v, 64)
+	r := NewReader(w.Bytes())
+	if got, err := r.ReadBits(3); err != nil || got != 0b101 {
+		t.Fatalf("prefix = %b, %v", got, err)
+	}
+	if got := r.Peek(64); got != v {
+		t.Fatalf("Peek(64) = %#x, want %#x", got, v)
+	}
+	if got, err := r.ReadBits(64); err != nil || got != v {
+		t.Fatalf("ReadBits(64) = %#x, %v; want %#x", got, err, v)
+	}
+}
+
+func TestPeekZeroPadsPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if got := r.Peek(16); got != 0xFF00 {
+		t.Fatalf("Peek(16) = %#x, want 0xFF00", got)
+	}
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	// 5 real bits remain (all ones), zero-padded to 12.
+	if got := r.Peek(12); got != 0b111110000000 {
+		t.Fatalf("Peek(12) = %#b", got)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	r := NewReader([]byte{0xAA, 0xBB})
+	if err := r.Skip(0); err != nil || r.Pos() != 0 {
+		t.Fatalf("Skip(0): %v, pos %d", err, r.Pos())
+	}
+	if err := r.Skip(9); err != nil || r.Pos() != 9 {
+		t.Fatalf("Skip(9): %v, pos %d", err, r.Pos())
+	}
+	if r.Remaining() != 7 {
+		t.Fatalf("Remaining = %d, want 7", r.Remaining())
+	}
+	if err := r.Skip(8); err != ErrOutOfBits {
+		t.Fatalf("Skip past end: %v", err)
+	}
+	if r.Pos() != 9 {
+		t.Fatalf("failed Skip moved pos to %d", r.Pos())
+	}
+	if err := r.Skip(7); err != nil || r.Remaining() != 0 {
+		t.Fatalf("Skip to end: %v, remaining %d", err, r.Remaining())
+	}
+}
+
+func TestReadBitsStraddlesFinalPartialByte(t *testing.T) {
+	// 13 bits: one full byte plus a 5-bit partial byte. Reads that straddle
+	// the byte boundary and end inside the padding must behave exactly like
+	// the bit-at-a-time reader: padding bits are real zeros, past-the-last-
+	// byte is ErrOutOfBits.
+	w := NewWriter()
+	w.WriteBits(0b1011011100110, 13)
+	b := w.Bytes()
+	if len(b) != 2 {
+		t.Fatalf("len = %d", len(b))
+	}
+	r := NewReader(b)
+	if got, err := r.ReadBits(10); err != nil || got != 0b1011011100 {
+		t.Fatalf("ReadBits(10) = %#b, %v", got, err)
+	}
+	// 6 bits left: 3 data bits + 3 padding zeros.
+	if got, err := r.ReadBits(6); err != nil || got != 0b110000 {
+		t.Fatalf("ReadBits(6) = %#b, %v", got, err)
+	}
+	if _, err := r.ReadBits(1); err != ErrOutOfBits {
+		t.Fatalf("want ErrOutOfBits, got %v", err)
+	}
+}
+
+func TestGrowPreservesContent(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xABCD, 16)
+	w.WriteBits(0b101, 3)
+	w.Grow(1 << 16)
+	w.WriteBits(0b11111, 5)
+	r := NewReader(w.Bytes())
+	if got, _ := r.ReadBits(24); got != 0xABCD<<8|0b10111111 {
+		t.Fatalf("content after Grow = %#x", got)
+	}
+}
+
+func TestFinishPadsInPlace(t *testing.T) {
+	w := NewWriter()
+	w.Grow(13)
+	w.WriteBits(0b1011011100110, 13)
+	b := w.Finish()
+	if len(b) != 2 || b[0] != 0b10110111 || b[1] != 0b00110000 {
+		t.Fatalf("bytes = %08b", b)
+	}
+	// Finish must pad inside the capacity Grow reserved — at most the two
+	// allocations of NewWriter and Grow, none from Finish itself.
+	allocs := testing.AllocsPerRun(100, func() {
+		w := NewWriter()
+		w.Grow(13)
+		w.WriteBits(0b1011011100110, 13)
+		w.Finish()
+	})
+	if allocs > 2 {
+		t.Fatalf("allocs = %v, want ≤ 2 (Finish must not copy)", allocs)
+	}
+}
+
+func TestNewWriterAppend(t *testing.T) {
+	head := []byte{0x01, 0x02}
+	w := NewWriterAppend(head)
+	w.WriteBits(0xFF, 8)
+	b := w.Bytes()
+	if len(b) != 3 || b[0] != 0x01 || b[1] != 0x02 || b[2] != 0xFF {
+		t.Fatalf("bytes = %x", b)
+	}
+	if w.Len() != 8 {
+		t.Fatalf("Len counts only written bits, got %d", w.Len())
+	}
+}
+
+// TestBatchedMatchesBitAtATime cross-checks the accumulator paths against a
+// reference one-bit-at-a-time writer/reader over random mixed-width writes.
+func TestBatchedMatchesBitAtATime(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		w := NewWriter()
+		var ref []uint // every bit, in order
+		for i := 0; i < 200; i++ {
+			n := uint(rng.Intn(65))
+			v := rng.Uint64()
+			if n < 64 {
+				v &= 1<<n - 1
+			}
+			w.WriteBits(v, n)
+			for j := int(n) - 1; j >= 0; j-- {
+				ref = append(ref, uint(v>>uint(j))&1)
+			}
+		}
+		r := NewReader(w.Bytes())
+		for i, want := range ref {
+			got, err := r.ReadBit()
+			if err != nil {
+				t.Fatalf("trial %d bit %d: %v", trial, i, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d bit %d = %d, want %d", trial, i, got, want)
+			}
+		}
+		// Re-read the same stream with random batched widths via Peek+Skip.
+		r = NewReader(w.Bytes())
+		for pos := 0; pos < len(ref); {
+			n := 1 + rng.Intn(64)
+			if pos+n > len(ref) {
+				n = len(ref) - pos
+			}
+			var want uint64
+			for j := 0; j < n; j++ {
+				want = want<<1 | uint64(ref[pos+j])
+			}
+			if got := r.Peek(uint(n)); got != want {
+				t.Fatalf("trial %d pos %d Peek(%d) = %#x, want %#x", trial, pos, n, got, want)
+			}
+			got, err := r.ReadBits(uint(n))
+			if err != nil {
+				t.Fatalf("trial %d pos %d: %v", trial, pos, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d pos %d ReadBits(%d) = %#x, want %#x", trial, pos, n, got, want)
+			}
+			pos += n
+		}
+	}
+}

@@ -333,6 +333,11 @@ func (p *Prepared) Compress() (*Compressed, error) {
 	}
 
 	var buf bytes.Buffer
+	streamTotal := 0
+	for _, s := range streams {
+		streamTotal += len(s)
+	}
+	buf.Grow(streamTotal + 16*len(streams) + 256) // streams + per-stream/box headers
 	buf.WriteString("MRWF")
 	buf.WriteByte(containerVersion)
 	buf.WriteByte(byte(o.Compressor))

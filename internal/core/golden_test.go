@@ -1,0 +1,50 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/synth"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current coder")
+
+// TestGoldenContainer locks the full container format — header layout plus
+// every per-stream SZ payload — across entropy-stage rewrites. The committed
+// fixture was produced by the pre-rewrite coder; the current encoder must
+// reproduce it byte-for-byte, and the current decoder must read it.
+func TestGoldenContainer(t *testing.T) {
+	f := synth.Generate(synth.Nyx, 32, 7)
+	h, err := grid.BuildAMR(f, 16, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := f.ValueRange() * 1e-3
+	c, err := CompressHierarchy(h, TACSZ3Options(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden-tac-sz3.mrc")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, c.Blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(c.Blob, want) {
+		t.Fatalf("container diverged from golden fixture: got %d bytes, fixture %d bytes", len(c.Blob), len(want))
+	}
+	if _, err := Decompress(want); err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+}

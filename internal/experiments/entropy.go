@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/benchfmt"
+	"repro/internal/huffman"
+	"repro/internal/synth"
+	"repro/internal/sz3"
+)
+
+// EntropyBench measures the entropy stage — canonical Huffman over bitio —
+// in isolation on the quantization-code stream sz3 produces for a Size³ Nyx
+// field (eb = 1e-3·range), plus the surrounding sz3 pipeline for context.
+// The committed BENCH_entropy.json tracks these numbers across PRs;
+// regenerate with `mrbench -exp entropy -size 128 -json BENCH_entropy.json`.
+func EntropyBench(cfg Config) (*benchfmt.Report, error) {
+	cfg = cfg.withDefaults()
+	f := synth.Generate(synth.Nyx, cfg.Size, cfg.Seed)
+	eb := f.ValueRange() * 1e-3
+	codes, err := sz3.Codes(f, sz3.Options{EB: eb})
+	if err != nil {
+		return nil, err
+	}
+	enc := huffman.Encode(codes)
+	blob, err := sz3.Compress(f, sz3.Options{EB: eb})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &benchfmt.Report{Config: map[string]any{
+		"dataset":       "nyx",
+		"size":          cfg.Size,
+		"seed":          cfg.Seed,
+		"eb":            "1e-3 * value range",
+		"symbols":       len(codes),
+		"encoded_bytes": len(enc),
+	}}
+	// Keep total wall clock a few seconds regardless of size.
+	iters := 1 << 24 / (cfg.Size * cfg.Size * cfg.Size)
+	if iters < 1 {
+		iters = 1
+	} else if iters > 50 {
+		iters = 50
+	}
+
+	codeBytes := int64(len(codes) * 4)
+	var benchErr error
+	rep.Measure("huffman_encode", iters, codeBytes, func() {
+		huffman.Encode(codes)
+	})
+	rep.Measure("huffman_decode", iters, codeBytes, func() {
+		if _, err := huffman.Decode(enc); err != nil && benchErr == nil {
+			benchErr = err
+		}
+	})
+	fieldBytes := int64(f.Bytes())
+	rep.Measure("sz3_compress", iters, fieldBytes, func() {
+		if _, err := sz3.Compress(f, sz3.Options{EB: eb}); err != nil && benchErr == nil {
+			benchErr = err
+		}
+	})
+	rep.Measure("sz3_decompress", iters, fieldBytes, func() {
+		if _, err := sz3.Decompress(blob); err != nil && benchErr == nil {
+			benchErr = err
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return rep, nil
+}
+
+// WriteEntropyTSV prints a report in the package's usual tab-separated style.
+func WriteEntropyTSV(w io.Writer, rep *benchfmt.Report) {
+	printHeader(w, fmt.Sprintf("Entropy-stage throughput: %v³ nyx, %v symbols, %v encoded bytes",
+		rep.Config["size"], rep.Config["symbols"], rep.Config["encoded_bytes"]),
+		"op", "ns/op", "MB/s")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\n", r.Name, r.NsPerOp, r.MBPerS)
+	}
+}
+
+func init() {
+	register("entropy", "Entropy-stage throughput (batched bitio + table-driven Huffman)",
+		func(w io.Writer, cfg Config) error {
+			rep, err := EntropyBench(cfg)
+			if err != nil {
+				return err
+			}
+			WriteEntropyTSV(w, rep)
+			return nil
+		})
+}

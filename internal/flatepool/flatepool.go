@@ -1,0 +1,41 @@
+// Package flatepool wraps the DEFLATE wrapper stage shared by the sz2, sz3,
+// and zfp stand-ins behind a sync.Pool of flate writers. A flate.Writer
+// carries tens of kilobytes of matcher state; the container pipeline
+// compresses one stream per level/box, so reusing writers across streams
+// (and across the worker pool's goroutines) removes the dominant per-stream
+// allocation. flate.Writer.Reset is documented to make the writer equivalent
+// to a fresh NewWriter, so pooled output is byte-identical to unpooled.
+package flatepool
+
+import (
+	"bytes"
+	"compress/flate"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(nil, flate.BestSpeed)
+	if err != nil {
+		// flate.BestSpeed is a valid level; NewWriter cannot fail on it.
+		panic(err)
+	}
+	return w
+}}
+
+// Deflate compresses payload at flate.BestSpeed using a pooled writer.
+func Deflate(payload []byte) ([]byte, error) {
+	var out bytes.Buffer
+	out.Grow(len(payload)/4 + 64)
+	fw := pool.Get().(*flate.Writer)
+	fw.Reset(&out)
+	if _, err := fw.Write(payload); err != nil {
+		pool.Put(fw)
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		pool.Put(fw)
+		return nil, err
+	}
+	pool.Put(fw)
+	return out.Bytes(), nil
+}

@@ -1,0 +1,78 @@
+package flatepool
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// freshDeflate is the reference: a brand-new writer per call.
+func freshDeflate(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestByteIdenticalToFreshWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 100, 65536, 1 << 18} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(rng.Intn(7)) // compressible
+		}
+		// Repeat so later calls exercise pooled (previously used) writers.
+		for trial := 0; trial < 3; trial++ {
+			got, err := Deflate(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := freshDeflate(t, payload); !bytes.Equal(got, want) {
+				t.Fatalf("n=%d trial %d: pooled output differs from fresh writer", n, trial)
+			}
+			fr := flate.NewReader(bytes.NewReader(got))
+			round, err := io.ReadAll(fr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(round, payload) {
+				t.Fatalf("n=%d: round trip mismatch", n)
+			}
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcabcabd"), 4096)
+	want, err := Deflate(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, err := Deflate(payload)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Errorf("concurrent deflate diverged (err=%v)", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -19,6 +19,13 @@ import (
 // tree rebuilt.
 const maxCodeLen = 57
 
+// tableBits is the index width of the primary decode lookup table: one peek
+// of this many bits resolves every code of length ≤ tableBits (the vast
+// majority of symbols in SZ quantization streams) in a single table hit.
+// 10 bits keeps the table at 2¹⁰ 32-byte entries (32 KiB), L1-resident —
+// measured faster than wider tables despite covering fewer long codes.
+const tableBits = 10
+
 type node struct {
 	freq        uint64
 	symbol      int32 // valid for leaves
@@ -126,31 +133,78 @@ func canonicalCodes(lengths []int) []uint64 {
 	return codes
 }
 
-// Encode compresses a sequence of int32 symbols. The output is
-// self-describing and decoded by Decode.
-func Encode(data []int32) []byte {
-	// Histogram.
+// denseSpanLimit caps the symbol range for which histogram and code lookup
+// use dense offset-indexed arrays instead of maps. SZ quantization codes
+// cluster tightly around the zero code, so the dense path is the common one;
+// the limit keeps degenerate wide-range inputs from allocating huge tables.
+const denseSpanLimit = 1 << 22
+
+// histogram counts symbol occurrences, returning symbols in ascending order
+// with aligned frequencies. When the symbol range is small (the SZ
+// quantization-code case) it uses a dense offset-indexed counting array; the
+// map fallback covers arbitrary ranges. Both produce identical results. The
+// returned minS/span/dense describe the range so the emit stage can make the
+// same dense-vs-map choice without recomputing it.
+func histogram(data []int32) (symbols []int32, freqs []uint64, minS int32, span int64, dense bool) {
+	minS, maxS := data[0], data[0]
+	for _, v := range data {
+		if v < minS {
+			minS = v
+		}
+		if v > maxS {
+			maxS = v
+		}
+	}
+	span = int64(maxS) - int64(minS) + 1
+	limit := int64(4*len(data)) + 1024
+	dense = span <= denseSpanLimit && span <= limit
+	if dense {
+		counts := make([]uint64, span)
+		for _, v := range data {
+			counts[int64(v)-int64(minS)]++
+		}
+		for i, c := range counts {
+			if c != 0 {
+				symbols = append(symbols, minS+int32(i))
+				freqs = append(freqs, c)
+			}
+		}
+		return symbols, freqs, minS, span, dense
+	}
 	freq := make(map[int32]uint64)
 	for _, v := range data {
 		freq[v]++
 	}
-	symbols := make([]int32, 0, len(freq))
+	symbols = make([]int32, 0, len(freq))
 	for s := range freq {
 		symbols = append(symbols, s)
 	}
 	sort.Slice(symbols, func(i, j int) bool { return symbols[i] < symbols[j] })
+	freqs = make([]uint64, len(symbols))
+	for i, s := range symbols {
+		freqs[i] = freq[s]
+	}
+	return symbols, freqs, minS, span, dense
+}
+
+// Encode compresses a sequence of int32 symbols. The output is
+// self-describing and decoded by Decode.
+func Encode(data []int32) []byte {
+	if len(data) == 0 {
+		var out []byte
+		out = binary.AppendUvarint(out, 0)
+		out = binary.AppendUvarint(out, 0)
+		return out
+	}
+	symbols, freqs, minS, span, dense := histogram(data)
 
 	var out []byte
 	out = binary.AppendUvarint(out, uint64(len(data)))
 	out = binary.AppendUvarint(out, uint64(len(symbols)))
-	if len(data) == 0 {
-		return out
-	}
 
-	freqs := make([]uint64, len(symbols))
-	for i, s := range symbols {
-		freqs[i] = freq[s]
-	}
+	// codeLengths may flatten freqs in place when limiting depth; keep the
+	// true counts for sizing the output bit stream.
+	origFreqs := append([]uint64(nil), freqs...)
 	lengths := codeLengths(symbols, freqs)
 
 	// Sort symbols canonically: by (length, symbol value).
@@ -183,23 +237,44 @@ func Encode(data []int32) []byte {
 		out = append(out, byte(e.l))
 	}
 
-	// Build lookup and emit the bit stream.
-	codeOf := make(map[int32]struct {
-		code uint64
-		len  uint
-	}, len(ss))
-	for i, e := range ss {
-		codeOf[e.s] = struct {
+	// Emit the bit stream. The writer appends to the header/dictionary
+	// buffer and is pre-grown to the exact stream size (Σ freq·len), so the
+	// hot loop never reallocates. Symbol→code lookup mirrors the histogram:
+	// dense offset-indexed arrays when the symbol range is small, map
+	// fallback otherwise.
+	totalBits := 0
+	for i := range origFreqs {
+		totalBits += int(origFreqs[i]) * lengths[i]
+	}
+	bw := bitio.NewWriterAppend(out)
+	bw.Grow(totalBits)
+	if dense {
+		codeVal := make([]uint64, span)
+		codeLen := make([]uint8, span)
+		for i, e := range ss {
+			idx := int64(e.s) - int64(minS)
+			codeVal[idx] = codes[i]
+			codeLen[idx] = uint8(e.l)
+		}
+		for _, v := range data {
+			idx := int64(v) - int64(minS)
+			bw.WriteBits(codeVal[idx], uint(codeLen[idx]))
+		}
+	} else {
+		type symCode struct {
 			code uint64
-			len  uint
-		}{codes[i], uint(e.l)}
+			len  uint8
+		}
+		codeOf := make(map[int32]symCode, len(ss))
+		for i, e := range ss {
+			codeOf[e.s] = symCode{codes[i], uint8(e.l)}
+		}
+		for _, v := range data {
+			c := codeOf[v]
+			bw.WriteBits(c.code, uint(c.len))
+		}
 	}
-	bw := bitio.NewWriter()
-	for _, v := range data {
-		c := codeOf[v]
-		bw.WriteBits(c.code, c.len)
-	}
-	return append(out, bw.Bytes()...)
+	return bw.Finish()
 }
 
 // Decode reverses Encode.
@@ -244,6 +319,16 @@ func Decode(buf []byte) ([]int32, error) {
 
 	// Canonical decoding: per length, the first code and symbol index.
 	maxLen := lens[k-1]
+	// Reject dictionaries that oversubscribe the code space (Kraft sum > 1):
+	// their canonical codes overflow the length class, which the table fill
+	// below must never see. The check is incremental so it cannot overflow.
+	var kraft uint64 // in units of 2^-maxLen
+	for i := 0; i < k; i++ {
+		kraft += 1 << uint(maxLen-lens[i])
+		if kraft > 1<<uint(maxLen) {
+			return nil, errors.New("huffman: invalid code lengths")
+		}
+	}
 	firstCode := make([]uint64, maxLen+2)
 	firstIdx := make([]int, maxLen+2)
 	countAt := make([]int, maxLen+2)
@@ -255,28 +340,105 @@ func Decode(buf []byte) ([]int32, error) {
 		countAt[lens[i]]++
 	}
 
+	// Table-driven decode: the primary table maps every possible value of
+	// the next tb bits to the symbols that decode from it. Because SZ
+	// quantization streams are dominated by 1–3-bit codes, one window
+	// usually holds several complete symbols, so each entry stores the whole
+	// batch — one Peek/lookup/Skip round-trip emits up to maxBatch symbols,
+	// amortizing the serial bit-position dependency that otherwise bounds
+	// Huffman decode throughput. Codes longer than tb fall back to the
+	// canonical first-code scan. Peek zero-pads past the end of the buffer,
+	// so Skip performs the authoritative bounds check: a code that would
+	// extend past the last byte is reported as truncation, exactly like the
+	// historical bit-at-a-time decoder.
+	tb := tableBits
+	if maxLen < tb {
+		tb = maxLen
+	}
+	if n < 1<<14 && tb > 8 {
+		tb = 8 // small streams don't amortize the full-width table build
+	}
+	const maxBatch = 7
+	type tableEntry struct {
+		n     uint8 // symbols fully decoded within the window
+		total uint8 // bits consumed by those n symbols
+		first uint8 // bit length of the first symbol; 0 → long-code fallback
+		syms  [maxBatch]int32
+	}
+	table := make([]tableEntry, 1<<uint(tb))
+	for w := range table {
+		e := &table[w]
+		pos := 0
+		for int(e.n) < maxBatch {
+			sym, l := int32(0), 0
+			for l = 1; l <= tb-pos && l <= maxLen; l++ {
+				code := uint64(w) >> uint(tb-pos-l) & (1<<uint(l) - 1)
+				if countAt[l] > 0 && code >= firstCode[l] && code < firstCode[l]+uint64(countAt[l]) {
+					sym = syms[firstIdx[l]+int(code-firstCode[l])]
+					break
+				}
+			}
+			if l > tb-pos || l > maxLen {
+				break // next code extends beyond the window
+			}
+			if e.n == 0 {
+				e.first = uint8(l)
+			}
+			e.syms[e.n] = sym
+			e.n++
+			pos += l
+		}
+		e.total = uint8(pos)
+	}
+
 	br := bitio.NewReader(buf)
-	out := make([]int32, n)
-	for i := 0; i < n; i++ {
-		var code uint64
-		l := 0
-		for {
-			b, err := br.ReadBit()
-			if err != nil {
+	// maxBatch slack lets the batch path store a full fixed-size array (a
+	// few plain moves instead of a variable-length copy); the tail beyond n
+	// is trimmed on return and never decoded.
+	out := make([]int32, n+maxBatch)
+	for i := 0; i < n; {
+		e := &table[br.Peek(uint(tb))]
+		if nb := int(e.n); nb > 0 {
+			if i+nb <= n {
+				if err := br.Skip(uint(e.total)); err == nil {
+					*(*[maxBatch]int32)(out[i:]) = e.syms
+					i += nb
+					continue
+				}
+			}
+			// Output tail or truncated stream: take exactly one symbol with
+			// a precise per-symbol bounds check.
+			if err := br.Skip(uint(e.first)); err != nil {
 				return nil, fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, err)
 			}
-			code = code<<1 | uint64(b)
-			l++
-			if l > maxLen {
-				return nil, errors.New("huffman: invalid code in stream")
-			}
+			out[i] = e.syms[0]
+			i++
+			continue
+		}
+		// Long code: scan lengths beyond the table width against the
+		// canonical first-code ranges.
+		pk := br.Peek(uint(maxLen))
+		matched := false
+		for l := tb + 1; l <= maxLen; l++ {
+			code := pk >> uint(maxLen-l)
 			if countAt[l] > 0 && code >= firstCode[l] && code < firstCode[l]+uint64(countAt[l]) {
+				if err := br.Skip(uint(l)); err != nil {
+					return nil, fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, err)
+				}
 				out[i] = syms[firstIdx[l]+int(code-firstCode[l])]
+				matched = true
 				break
 			}
 		}
+		if !matched {
+			if br.Remaining() < maxLen {
+				return nil, fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, bitio.ErrOutOfBits)
+			}
+			return nil, errors.New("huffman: invalid code in stream")
+		}
+		i++
 	}
-	return out, nil
+	return out[:n:n], nil
 }
 
 func readHeader(buf *[]byte) (n, k int, err error) {

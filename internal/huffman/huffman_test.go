@@ -113,6 +113,51 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 }
 
+// FuzzHuffmanRoundTrip asserts decode(encode(x)) == x for arbitrary symbol
+// streams, and that decoding arbitrary (typically corrupt) bytes returns an
+// error instead of panicking.
+func FuzzHuffmanRoundTrip(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 0, 0, 1, 255, 255, 255, 255}, []byte{0xFF})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, Encode([]int32{1, 2, 1, 1, 2, 3}))
+	f.Fuzz(func(t *testing.T, symRaw, stream []byte) {
+		// Round trip: reinterpret symRaw as int32 symbols.
+		data := make([]int32, len(symRaw)/4)
+		for i := range data {
+			data[i] = int32(uint32(symRaw[4*i]) | uint32(symRaw[4*i+1])<<8 |
+				uint32(symRaw[4*i+2])<<16 | uint32(symRaw[4*i+3])<<24)
+		}
+		enc := Encode(data)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of valid encoding failed: %v", err)
+		}
+		if len(dec) != len(data) {
+			t.Fatalf("length %d, want %d", len(dec), len(data))
+		}
+		for i := range data {
+			if dec[i] != data[i] {
+				t.Fatalf("symbol %d: got %d want %d", i, dec[i], data[i])
+			}
+		}
+		// Corrupt-stream robustness: arbitrary bytes, and truncations /
+		// mutations of a valid stream, must error or succeed — never panic.
+		if _, err := Decode(stream); err != nil {
+			_ = err
+		}
+		if len(enc) > 0 {
+			if _, err := Decode(enc[:len(enc)-1]); err != nil {
+				_ = err
+			}
+			mut := append([]byte(nil), enc...)
+			mut[len(mut)/2] ^= 0x5A
+			if _, err := Decode(mut); err != nil {
+				_ = err
+			}
+		}
+	})
+}
+
 func TestDeterministicEncoding(t *testing.T) {
 	data := []int32{5, 2, 9, 2, 5, 5, 1}
 	a := Encode(data)

@@ -1,0 +1,58 @@
+package sz2
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/synth"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current coder")
+
+// goldenField is the deterministic input every fixture derives from. Odd
+// dimensions force partial boundary blocks through the block walker.
+func goldenField() (*field.Field, float64) {
+	f := synth.GenerateDims(synth.Nyx, 20, 17, 13, 7)
+	return f, f.ValueRange() * 1e-3
+}
+
+// TestGoldenStream locks the on-disk format across entropy-stage rewrites:
+// the committed fixture was produced by the pre-rewrite coder, and the
+// current encoder must reproduce it byte-for-byte (and decode it).
+func TestGoldenStream(t *testing.T) {
+	f, eb := goldenField()
+	blob, err := Compress(f, Options{EB: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.sz2")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("encoder output diverged from golden fixture: got %d bytes, fixture %d bytes", len(blob), len(want))
+	}
+	g, err := Decompress(want)
+	if err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	for i := range f.Data {
+		d := g.Data[i] - f.Data[i]
+		if d < -eb || d > eb {
+			t.Fatalf("sample %d outside error bound: |%g| > %g", i, d, eb)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"repro/internal/field"
+	"repro/internal/flatepool"
 	"repro/internal/huffman"
 	"repro/internal/quant"
 )
@@ -73,8 +74,9 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 	// plane's contribution to the prediction error stays well inside eb.
 	coefStep := opt.EB / (2 * float64(bs))
 
-	var modes []byte
-	var coefCodes []int32
+	nBlocks := blocksAlong(nx, bs) * blocksAlong(ny, bs) * blocksAlong(nz, bs)
+	modes := make([]byte, 0, nBlocks)
+	coefCodes := make([]int32, 0, 4*nBlocks)
 	codes := make([]int32, 0, len(f.Data))
 
 	forEachBlock(nx, ny, nz, bs, func(x0, y0, z0, bx, by, bz int) {
@@ -118,6 +120,7 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 	// byte — are escaped with 0x00 (never a legal size, bs ≥ 2) followed
 	// by a uvarint.
 	var payload bytes.Buffer
+	payload.Grow(len(modes)/8 + len(codes)/2 + 8*len(q.Outliers) + 64)
 	payload.WriteString(magic)
 	var tmp [8]byte
 	if bs <= 0xFF {
@@ -149,18 +152,7 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 	}
 	writeChunk(outBuf.Bytes())
 
-	var out bytes.Buffer
-	fw, err := flate.NewWriter(&out, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := fw.Write(payload.Bytes()); err != nil {
-		return nil, err
-	}
-	if err := fw.Close(); err != nil {
-		return nil, err
-	}
-	return out.Bytes(), nil
+	return flatepool.Deflate(payload.Bytes())
 }
 
 // Decompress decodes a buffer produced by Compress.

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"repro/internal/field"
+	"repro/internal/flatepool"
 	"repro/internal/huffman"
 	"repro/internal/quant"
 )
@@ -90,10 +91,23 @@ func MaxLevelFor(nx, ny, nz int) int {
 	return l
 }
 
-// Compress encodes the field under opt and returns the compressed bytes.
-func Compress(f *field.Field, opt Options) ([]byte, error) {
+// Codes runs the prediction + quantization stage only and returns the raw
+// quantization-code stream that Compress would entropy-code. It exists so the
+// entropy stage can be benchmarked on realistic code distributions (see
+// BenchmarkHuffmanDecode and `mrbench -exp entropy`).
+func Codes(f *field.Field, opt Options) ([]int32, error) {
+	ebTable, maxLevel, err := buildEBTable(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	codes, _ := encodeCore(f, opt.Interp, ebTable, maxLevel)
+	return codes, nil
+}
+
+// buildEBTable validates opt and materializes the per-level error bounds.
+func buildEBTable(f *field.Field, opt Options) ([]float64, int, error) {
 	if opt.EB <= 0 {
-		return nil, errors.New("sz3: error bound must be positive")
+		return nil, 0, errors.New("sz3: error bound must be positive")
 	}
 	maxLevel := MaxLevelFor(f.Nx, f.Ny, f.Nz)
 	ebTable := make([]float64, maxLevel+1) // index by level, [1..maxLevel]; [0] = seed
@@ -104,15 +118,25 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 			ebTable[l] = opt.EB
 		}
 		if ebTable[l] <= 0 {
-			return nil, fmt.Errorf("sz3: non-positive level eb at level %d", l)
+			return nil, 0, fmt.Errorf("sz3: non-positive level eb at level %d", l)
 		}
 	}
 	ebTable[0] = ebTable[1]
+	return ebTable, maxLevel, nil
+}
 
+// Compress encodes the field under opt and returns the compressed bytes.
+func Compress(f *field.Field, opt Options) ([]byte, error) {
+	ebTable, maxLevel, err := buildEBTable(f, opt)
+	if err != nil {
+		return nil, err
+	}
 	codes, outliers := encodeCore(f, opt.Interp, ebTable, maxLevel)
 
 	// Container: header | eb table | huffman codes | outliers, then DEFLATE.
+	hb := huffman.Encode(codes)
 	var payload bytes.Buffer
+	payload.Grow(len(hb) + 8*len(ebTable) + 8*len(outliers) + 64)
 	payload.WriteString(magic)
 	payload.WriteByte(byte(opt.Interp))
 	var tmp [8]byte
@@ -126,7 +150,6 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(eb))
 		payload.Write(tmp[:])
 	}
-	hb := huffman.Encode(codes)
 	n = binary.PutUvarint(tmp[:], uint64(len(hb)))
 	payload.Write(tmp[:n])
 	payload.Write(hb)
@@ -137,18 +160,7 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 		payload.Write(tmp[:])
 	}
 
-	var out bytes.Buffer
-	fw, err := flate.NewWriter(&out, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := fw.Write(payload.Bytes()); err != nil {
-		return nil, err
-	}
-	if err := fw.Close(); err != nil {
-		return nil, err
-	}
-	return out.Bytes(), nil
+	return flatepool.Deflate(payload.Bytes())
 }
 
 // Decompress decodes a buffer produced by Compress.

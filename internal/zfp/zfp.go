@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"repro/internal/field"
+	"repro/internal/flatepool"
 )
 
 // BlockSize is the fixed block edge (4, as in ZFP).
@@ -59,8 +60,10 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 	}
 	nx, ny, nz := f.Nx, f.Ny, f.Nz
 
-	var emaxs []int16
+	nBlocks := blocksAlong(nx) * blocksAlong(ny) * blocksAlong(nz)
+	emaxs := make([]int16, 0, nBlocks)
 	var coefBuf bytes.Buffer
+	coefBuf.Grow(nBlocks * 80) // ~1.25 varint bytes per coefficient
 	var tmp [binary.MaxVarintLen64]byte
 
 	var block [64]float64
@@ -94,6 +97,7 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 	})
 
 	var payload bytes.Buffer
+	payload.Grow(2*len(emaxs) + coefBuf.Len() + 64)
 	payload.WriteString(magic)
 	for _, v := range []uint64{uint64(nx), uint64(ny), uint64(nz)} {
 		n := binary.PutUvarint(tmp[:], v)
@@ -111,18 +115,7 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 	}
 	payload.Write(coefBuf.Bytes())
 
-	var out bytes.Buffer
-	fw, err := flate.NewWriter(&out, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := fw.Write(payload.Bytes()); err != nil {
-		return nil, err
-	}
-	if err := fw.Close(); err != nil {
-		return nil, err
-	}
-	return out.Bytes(), nil
+	return flatepool.Deflate(payload.Bytes())
 }
 
 // Decompress decodes a buffer produced by Compress.
@@ -187,7 +180,7 @@ func Decompress(data []byte) (*field.Field, error) {
 
 	g := field.New(nx, ny, nz)
 	var iblock [64]int64
-	var block [64]float64
+	var block, zeroBlock [64]float64
 	bi := 0
 	var decodeErr error
 	forEachBlock(nx, ny, nz, func(x0, y0, z0 int) {
@@ -197,7 +190,7 @@ func Decompress(data []byte) (*field.Field, error) {
 		emax := emaxs[bi]
 		bi++
 		if emax == emaxEmpty {
-			storeBlock(g, x0, y0, z0, new([64]float64))
+			storeBlock(g, x0, y0, z0, &zeroBlock)
 			return
 		}
 		scale := math.Ldexp(1, fixedPointBits-int(emax))
