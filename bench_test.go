@@ -14,6 +14,7 @@ package repro
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/mcubes"
 	"repro/internal/metrics"
 	"repro/internal/postproc"
+	"repro/internal/reader"
 	"repro/internal/synth"
 	"repro/internal/sz2"
 	"repro/internal/sz3"
@@ -328,6 +330,63 @@ func BenchmarkROIConvert(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ConvertROI(f, 16, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- serving benchmarks -------------------------------------------------------
+//
+// These measure the random-access path behind mrserve: ReadLevel through the
+// v3 container index versus decoding everything. The committed
+// BENCH_serve.json records the trajectory; regenerate with
+// `mrbench -exp serve -size 128 -json FILE`.
+
+func BenchmarkServeExperiment(b *testing.B) { benchExperiment(b, "serve") }
+
+func benchServeContainer(b *testing.B) (string, int) {
+	b.Helper()
+	f := synth.Generate(synth.Nyx, benchSize(), 42)
+	h, err := grid.BuildAMR(f, 16, []float64{0.25, 0.35, 0.40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.CompressHierarchy(h, core.SZ3MROptions(f.ValueRange()*1e-3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.mrw")
+	if err := os.WriteFile(path, c.Blob, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	return path, len(h.Levels)
+}
+
+func BenchmarkReadLevelCoarsestCold(b *testing.B) {
+	path, levels := benchServeContainer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := reader.OpenFile(path, reader.WithCache(nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ReadLevel(levels - 1); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}
+
+func BenchmarkReadLevelCoarsestCached(b *testing.B) {
+	path, levels := benchServeContainer(b)
+	r, err := reader.OpenFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadLevel(levels - 1); err != nil {
 			b.Fatal(err)
 		}
 	}

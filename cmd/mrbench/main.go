@@ -28,7 +28,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "synthetic-data seed")
 		out     = flag.String("out", "", "directory for rendered PNG artifacts (optional)")
 		workers = flag.Int("workers", 0, "concurrent compression workers (0 = all cores, 1 = serial)")
-		jsonOut = flag.String("json", "", "write machine-readable results to this file (supported by -exp entropy)")
+		jsonOut = flag.String("json", "", "write machine-readable results to this file (see -list for experiments supporting it)")
 	)
 	flag.Parse()
 
@@ -51,8 +51,9 @@ func main() {
 	cfg := experiments.Config{Size: *size, Seed: *seed, OutDir: *out, Workers: *workers}
 
 	if *jsonOut != "" {
-		if *exp != "entropy" {
-			fatal(fmt.Errorf("-json is currently supported only with -exp entropy (got %q)", *exp))
+		je, ok := experiments.JSONByID(*exp)
+		if !ok {
+			fatal(fmt.Errorf("-json is supported with -exp %v (got %q)", experiments.JSONIDs(), *exp))
 		}
 		// Create the output file up front so a bad path fails before the
 		// multi-second benchmark run, not after.
@@ -60,11 +61,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rep, err := experiments.EntropyBench(cfg)
+		rep, err := je.Run(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		experiments.WriteEntropyTSV(os.Stdout, rep)
+		je.WriteTSV(os.Stdout, rep)
 		if err := benchfmt.Write(f, rep); err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,68 @@
+// Command mrserve is a progressive multi-resolution serving daemon: it
+// serves a directory of compressed .mrw containers over HTTP, decoding only
+// the streams each request needs via the container block index, with all
+// decoded bricks shared in one byte-budgeted LRU cache.
+//
+//	mrserve -dir /data/fields -addr :8080 [-cache-mb 256] [-cache-shards 16]
+//
+// Endpoints:
+//
+//	GET /v1/fields                          list served fields
+//	GET /v1/field/{id}/meta                 dims, levels, per-level sizes
+//	GET /v1/field/{id}/level/{L}            one resolution level (binary raw
+//	                                        field; ?format=json for JSON)
+//	GET /v1/field/{id}/slice?axis=z&k=16&level=0
+//	                                        one 2D cross-section
+//	GET /healthz                            liveness
+//	GET /metrics                            Prometheus text: request/latency
+//	                                        counters, cache hits/misses,
+//	                                        backend decodes
+//
+// Binary responses use the same raw field format as mrcompress (24-byte
+// little-endian dims header + float64 samples) and carry X-Mrw-Nx/Ny/Nz
+// headers. A client wanting a quick look fetches the coarsest level first
+// and refines on demand — the server never decodes more than each request
+// asks for.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", ".", "directory of .mrw containers to serve")
+		addr    = flag.String("addr", ":8080", "listen address")
+		cacheMB = flag.Int64("cache-mb", 256, "brick cache budget in MiB (0 disables caching)")
+		shards  = flag.Int("cache-shards", 16, "brick cache shard count")
+	)
+	flag.Parse()
+
+	s, err := newServer(*dir, *cacheMB<<20, *shards)
+	if err != nil {
+		fatal(err)
+	}
+	ids, err := s.fieldIDs()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mrserve: serving %d field(s) from %s on %s\n", len(ids), *dir, *addr)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      s.handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 5 * time.Minute, // large fine-level payloads
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,509 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/field"
+	"repro/internal/reader"
+)
+
+// server serves a directory of .mrw containers over HTTP. Containers are
+// opened lazily on first access and kept open; all readers share one brick
+// cache, so the byte budget bounds decoded memory across the whole
+// directory regardless of how many fields are hot.
+type server struct {
+	dir   string
+	cache *cache.Cache
+
+	mu      sync.Mutex
+	readers map[string]*readerEntry
+	// summaries caches /v1/fields entries keyed by id, so listing a large
+	// directory does not hold every container open; invalidated when the
+	// file's size or mtime changes.
+	summaries map[string]cachedSummary
+
+	metrics metricsRegistry
+}
+
+// cachedSummary is a listing entry plus the file identity it was computed
+// from.
+type cachedSummary struct {
+	summary fieldSummary
+	size    int64
+	modTime time.Time
+}
+
+// readerEntry is a per-field open slot: the sync.Once serializes the open
+// of one container without holding the server-wide mutex, so a slow open
+// (e.g. the sequential fallback scan of a large legacy container) blocks
+// only requests for that field.
+type readerEntry struct {
+	once sync.Once
+	r    *reader.FileReader
+	err  error
+}
+
+func newServer(dir string, cacheBytes int64, shards int) (*server, error) {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("mrserve: %s is not a directory", dir)
+	}
+	return &server{
+		dir:       dir,
+		cache:     cache.New(cacheBytes, shards),
+		readers:   make(map[string]*readerEntry),
+		summaries: make(map[string]cachedSummary),
+		metrics:   newMetricsRegistry(),
+	}, nil
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes shouldn't skew latency stats
+	mux.HandleFunc("GET /v1/fields", s.instrument("fields", s.handleFields))
+	mux.HandleFunc("GET /v1/field/{id}/meta", s.instrument("meta", s.handleMeta))
+	mux.HandleFunc("GET /v1/field/{id}/level/{level}", s.instrument("level", s.handleLevel))
+	mux.HandleFunc("GET /v1/field/{id}/slice", s.instrument("slice", s.handleSlice))
+	return mux
+}
+
+// close releases every open reader (test teardown / shutdown).
+func (s *server) close() {
+	s.mu.Lock()
+	entries := s.readers
+	s.readers = make(map[string]*readerEntry)
+	s.mu.Unlock()
+	for _, e := range entries {
+		// Wait out (or forestall) any in-flight open so its FileReader
+		// cannot be stored into an orphaned entry and leak.
+		e.once.Do(func() {})
+		s.mu.Lock()
+		r := e.r
+		s.mu.Unlock()
+		if r != nil {
+			r.Close()
+		}
+	}
+}
+
+// fieldIDs lists the ids currently present in the directory.
+func (s *server) fieldIDs() ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "*.mrw"))
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(matches))
+	for _, m := range matches {
+		ids = append(ids, strings.TrimSuffix(filepath.Base(m), ".mrw"))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// getReader returns the open reader for a field id, opening it on first
+// use. Ids naming path components are rejected before touching the
+// filesystem. The server mutex covers only the map lookup; the open
+// itself runs under the entry's once, so concurrent requests for other
+// fields are never blocked by it.
+func (s *server) getReader(id string) (*reader.FileReader, error) {
+	if id == "" || strings.ContainsAny(id, `/\`) || strings.Contains(id, "..") {
+		return nil, errBadID
+	}
+	s.mu.Lock()
+	e, ok := s.readers[id]
+	if !ok {
+		e = &readerEntry{}
+		s.readers[id] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		r, err := reader.OpenFile(filepath.Join(s.dir, id+".mrw"),
+			reader.WithCache(s.cache), reader.WithCacheKey(id))
+		// Store under the server mutex: /metrics and close() read entries
+		// without going through this once.
+		s.mu.Lock()
+		e.r, e.err = r, err
+		s.mu.Unlock()
+	})
+	if e.err != nil {
+		// Drop the failed entry so the field can be retried later (e.g.
+		// the file appears after a copy completes).
+		s.mu.Lock()
+		if s.readers[id] == e {
+			delete(s.readers, id)
+		}
+		s.mu.Unlock()
+		return nil, e.err
+	}
+	return e.r, nil
+}
+
+var errBadID = fmt.Errorf("invalid field id")
+
+// httpError maps a reader/lookup error to a status code.
+func (s *server) httpError(w http.ResponseWriter, err error) {
+	switch {
+	case err == errBadID:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case os.IsNotExist(err):
+		http.Error(w, "unknown field", http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeField sends a field in the raw binary format (24-byte dims header +
+// float64 samples, the same format mrcompress reads and writes), or as
+// JSON with ?format=json.
+func writeField(w http.ResponseWriter, r *http.Request, f *field.Field) {
+	w.Header().Set("X-Mrw-Nx", strconv.Itoa(f.Nx))
+	w.Header().Set("X-Mrw-Ny", strconv.Itoa(f.Ny))
+	w.Header().Set("X-Mrw-Nz", strconv.Itoa(f.Nz))
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, map[string]any{"nx": f.Nx, "ny": f.Ny, "nz": f.Nz, "data": f.Data})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(24+8*f.Len()))
+	f.WriteTo(w)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// fieldSummary is one entry of GET /v1/fields.
+type fieldSummary struct {
+	ID             string `json:"id"`
+	Nx             int    `json:"nx"`
+	Ny             int    `json:"ny"`
+	Nz             int    `json:"nz"`
+	Levels         int    `json:"levels"`
+	ContainerBytes int64  `json:"container_bytes"`
+	Indexed        bool   `json:"indexed"`
+}
+
+// summarize returns the listing entry for one field without permanently
+// holding its container open: an already-open reader is reused, otherwise
+// the cached summary is served, otherwise a transient reader computes one
+// and is closed again.
+func (s *server) summarize(id string, st os.FileInfo) (fieldSummary, error) {
+	s.mu.Lock()
+	if e, ok := s.readers[id]; ok && e.r != nil {
+		rd := e.r
+		s.mu.Unlock()
+		return makeSummary(id, rd.Reader, st), nil
+	}
+	if c, ok := s.summaries[id]; ok && c.size == st.Size() && c.modTime.Equal(st.ModTime()) {
+		s.mu.Unlock()
+		return c.summary, nil
+	}
+	s.mu.Unlock()
+
+	rd, err := reader.OpenFile(filepath.Join(s.dir, id+".mrw"), reader.WithCache(nil))
+	if err != nil {
+		return fieldSummary{}, err
+	}
+	sum := makeSummary(id, rd.Reader, st)
+	rd.Close()
+	s.mu.Lock()
+	s.summaries[id] = cachedSummary{summary: sum, size: st.Size(), modTime: st.ModTime()}
+	s.mu.Unlock()
+	return sum, nil
+}
+
+func makeSummary(id string, rd *reader.Reader, st os.FileInfo) fieldSummary {
+	nx, ny, nz := rd.Dims()
+	return fieldSummary{
+		ID: id, Nx: nx, Ny: ny, Nz: nz,
+		Levels:         rd.NumLevels(),
+		ContainerBytes: st.Size(),
+		Indexed:        !rd.FellBack(),
+	}
+}
+
+func (s *server) handleFields(w http.ResponseWriter, r *http.Request) {
+	ids, err := s.fieldIDs()
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	out := make([]fieldSummary, 0, len(ids))
+	for _, id := range ids {
+		st, err := os.Stat(filepath.Join(s.dir, id+".mrw"))
+		if err != nil {
+			continue
+		}
+		sum, err := s.summarize(id, st)
+		if err != nil {
+			continue // unreadable container: omit rather than fail the listing
+		}
+		out = append(out, sum)
+	}
+	writeJSON(w, map[string]any{"fields": out})
+}
+
+// levelMeta is one level's entry of GET /v1/field/{id}/meta.
+type levelMeta struct {
+	Level           int   `json:"level"`
+	Nx              int   `json:"nx"`
+	Ny              int   `json:"ny"`
+	Nz              int   `json:"nz"`
+	UnitBlock       int   `json:"unit_block"`
+	Blocks          int   `json:"blocks"`
+	Streams         int   `json:"streams"`
+	CompressedBytes int64 `json:"compressed_bytes"`
+	RawBytes        int64 `json:"raw_bytes"`
+}
+
+func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	rd, err := s.getReader(r.PathValue("id"))
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	ix := rd.Index()
+	opt := rd.Options()
+	levels := make([]levelMeta, 0, ix.NumLevels())
+	for l := 0; l < ix.NumLevels(); l++ {
+		nx, ny, nz := ix.LevelDims(l)
+		lm := levelMeta{
+			Level: l, Nx: nx, Ny: ny, Nz: nz,
+			UnitBlock:       ix.UnitBlockSize(l),
+			Blocks:          len(ix.Levels[l].Blocks),
+			Streams:         len(ix.Levels[l].Streams),
+			CompressedBytes: ix.CompressedBytes(l),
+		}
+		for _, si := range ix.Levels[l].Streams {
+			lm.RawBytes += ix.Streams[si].RawLen
+		}
+		levels = append(levels, lm)
+	}
+	nx, ny, nz := rd.Dims()
+	writeJSON(w, map[string]any{
+		"id":          r.PathValue("id"),
+		"nx":          nx,
+		"ny":          ny,
+		"nz":          nz,
+		"block_b":     ix.BlockB,
+		"compressor":  opt.Compressor.String(),
+		"arrangement": opt.Arrangement.String(),
+		"eb":          opt.EB,
+		"indexed":     !rd.FellBack(),
+		"levels":      levels,
+	})
+}
+
+func (s *server) handleLevel(w http.ResponseWriter, r *http.Request) {
+	rd, err := s.getReader(r.PathValue("id"))
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	l, err := strconv.Atoi(r.PathValue("level"))
+	if err != nil {
+		http.Error(w, "bad level", http.StatusBadRequest)
+		return
+	}
+	if l < 0 || l >= rd.NumLevels() {
+		http.Error(w, "unknown level", http.StatusNotFound)
+		return
+	}
+	f, err := rd.ReadLevel(l)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("X-Mrw-Level", strconv.Itoa(l))
+	writeField(w, r, f)
+}
+
+func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	rd, err := s.getReader(r.PathValue("id"))
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	axisStr := q.Get("axis")
+	if axisStr == "" {
+		axisStr = "z"
+	}
+	axis, err := reader.ParseAxis(axisStr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	l := 0
+	if v := q.Get("level"); v != "" {
+		if l, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad level", http.StatusBadRequest)
+			return
+		}
+	}
+	if l < 0 || l >= rd.NumLevels() {
+		http.Error(w, "unknown level", http.StatusNotFound)
+		return
+	}
+	k, err := strconv.Atoi(q.Get("k"))
+	if err != nil {
+		http.Error(w, "bad or missing k", http.StatusBadRequest)
+		return
+	}
+	nx, ny, nz := rd.Index().LevelDims(l)
+	if dim := []int{nx, ny, nz}[axis]; k < 0 || k >= dim {
+		http.Error(w, fmt.Sprintf("k out of range [0,%d)", dim), http.StatusBadRequest)
+		return
+	}
+	f, err := rd.ReadSlice(axis, k, l)
+	if err != nil {
+		// Parameters were validated above; what remains is a server-side
+		// decode or I/O fault.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("X-Mrw-Level", strconv.Itoa(l))
+	w.Header().Set("X-Mrw-Axis", axis.String())
+	w.Header().Set("X-Mrw-K", strconv.Itoa(k))
+	writeField(w, r, f)
+}
+
+// --- metrics ----------------------------------------------------------------
+
+// endpoints instrumented with request/latency counters.
+var endpoints = []string{"healthz", "fields", "meta", "level", "slice"}
+
+// metricsRegistry is a minimal fixed-cardinality Prometheus-style counter
+// set (no external deps; the text exposition format is trivial).
+type metricsRegistry struct {
+	requests  map[string]*atomic.Int64
+	errors    map[string]*atomic.Int64
+	latencyNs map[string]*atomic.Int64
+}
+
+func newMetricsRegistry() metricsRegistry {
+	m := metricsRegistry{
+		requests:  make(map[string]*atomic.Int64),
+		errors:    make(map[string]*atomic.Int64),
+		latencyNs: make(map[string]*atomic.Int64),
+	}
+	for _, e := range endpoints {
+		m.requests[e] = new(atomic.Int64)
+		m.errors[e] = new(atomic.Int64)
+		m.latencyNs[e] = new(atomic.Int64)
+	}
+	return m
+}
+
+// statusRecorder captures the response code for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request, error, and latency counters.
+func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.requests[name].Add(1)
+		s.metrics.latencyNs[name].Add(time.Since(start).Nanoseconds())
+		if rec.status >= 400 {
+			s.metrics.errors[name].Add(1)
+		}
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP mrserve_requests_total Requests served, by endpoint.\n")
+	p("# TYPE mrserve_requests_total counter\n")
+	for _, e := range endpoints {
+		p("mrserve_requests_total{endpoint=%q} %d\n", e, s.metrics.requests[e].Load())
+	}
+	p("# HELP mrserve_request_errors_total Requests answered with status >= 400, by endpoint.\n")
+	p("# TYPE mrserve_request_errors_total counter\n")
+	for _, e := range endpoints {
+		p("mrserve_request_errors_total{endpoint=%q} %d\n", e, s.metrics.errors[e].Load())
+	}
+	p("# HELP mrserve_request_seconds_total Cumulative request wall time, by endpoint.\n")
+	p("# TYPE mrserve_request_seconds_total counter\n")
+	for _, e := range endpoints {
+		p("mrserve_request_seconds_total{endpoint=%q} %.6f\n", e, float64(s.metrics.latencyNs[e].Load())/1e9)
+	}
+
+	cst := s.cache.Stats()
+	p("# HELP mrserve_cache_hits_total Brick cache hits.\n")
+	p("# TYPE mrserve_cache_hits_total counter\n")
+	p("mrserve_cache_hits_total %d\n", cst.Hits)
+	p("# HELP mrserve_cache_misses_total Brick cache misses.\n")
+	p("# TYPE mrserve_cache_misses_total counter\n")
+	p("mrserve_cache_misses_total %d\n", cst.Misses)
+	p("# HELP mrserve_cache_evictions_total Brick cache evictions.\n")
+	p("# TYPE mrserve_cache_evictions_total counter\n")
+	p("mrserve_cache_evictions_total %d\n", cst.Evictions)
+	p("# HELP mrserve_cache_bytes Bytes of decoded bricks currently cached.\n")
+	p("# TYPE mrserve_cache_bytes gauge\n")
+	p("mrserve_cache_bytes %d\n", cst.Bytes)
+	p("# HELP mrserve_cache_budget_bytes Configured brick cache budget.\n")
+	p("# TYPE mrserve_cache_budget_bytes gauge\n")
+	p("mrserve_cache_budget_bytes %d\n", cst.Budget)
+	p("# HELP mrserve_cache_entries Bricks currently cached.\n")
+	p("# TYPE mrserve_cache_entries gauge\n")
+	p("mrserve_cache_entries %d\n", cst.Entries)
+
+	var decodes, bytesRead int64
+	open := 0
+	s.mu.Lock()
+	for _, e := range s.readers {
+		if e.r == nil {
+			continue // open in flight or failed
+		}
+		open++
+		st := e.r.Stats()
+		decodes += st.BackendDecodes
+		bytesRead += st.BytesRead
+	}
+	s.mu.Unlock()
+	p("# HELP mrserve_backend_decodes_total Compressed streams decoded across all open fields.\n")
+	p("# TYPE mrserve_backend_decodes_total counter\n")
+	p("mrserve_backend_decodes_total %d\n", decodes)
+	p("# HELP mrserve_compressed_bytes_read_total Compressed bytes fetched from containers.\n")
+	p("# TYPE mrserve_compressed_bytes_read_total counter\n")
+	p("mrserve_compressed_bytes_read_total %d\n", bytesRead)
+	p("# HELP mrserve_fields_open Containers currently held open.\n")
+	p("# TYPE mrserve_fields_open gauge\n")
+	p("mrserve_fields_open %d\n", open)
+}

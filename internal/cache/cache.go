@@ -1,0 +1,182 @@
+// Package cache provides the sharded, byte-budgeted LRU brick cache behind
+// the random-access reader and the mrserve HTTP server: decoded level and
+// box fields ("bricks") are kept hot so repeated reads of popular levels
+// skip the backend decode entirely.
+//
+// The cache is safe for concurrent use. Keys are sharded by FNV-1a hash so
+// concurrent readers of different bricks rarely contend on the same lock,
+// and each shard enforces its slice of the global byte budget independently
+// (a deliberately simple discipline: a pathological key distribution can
+// under-use the budget, but no distribution can overrun it).
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used when New is given a non-positive
+// one.
+const DefaultShards = 16
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// Evictions counts entries displaced by the byte budget.
+	Evictions int64
+	// Entries and Bytes are current occupancy.
+	Entries int
+	Bytes   int64
+	// Budget is the configured byte budget (0 = caching disabled).
+	Budget int64
+}
+
+// Cache is a sharded LRU keyed by string, bounded by total value bytes.
+// The zero value is not usable; call New. A nil *Cache is a valid no-op
+// cache (every Get misses, every Put is dropped), so callers can thread an
+// optional cache without nil checks.
+type Cache struct {
+	shards    []shard
+	budget    int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard struct {
+	mu     sync.Mutex
+	lru    *list.List // front = most recently used
+	items  map[string]*list.Element
+	bytes  int64
+	budget int64
+}
+
+type entry struct {
+	key  string
+	val  any
+	size int64
+}
+
+// New creates a cache holding at most budgetBytes of values across the
+// given number of shards (DefaultShards when nShards <= 0). A budgetBytes
+// <= 0 disables caching entirely.
+func New(budgetBytes int64, nShards int) *Cache {
+	if budgetBytes <= 0 {
+		return &Cache{budget: 0}
+	}
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	if int64(nShards) > budgetBytes {
+		nShards = 1
+	}
+	c := &Cache{shards: make([]shard, nShards), budget: budgetBytes}
+	per := budgetBytes / int64(nShards)
+	for i := range c.shards {
+		c.shards[i] = shard{lru: list.New(), items: make(map[string]*list.Element), budget: per}
+	}
+	return c
+}
+
+// fnv1a hashes a key without allocating.
+func fnv1a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[fnv1a(key)%uint32(len(c.shards))]
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil || c.budget <= 0 {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var val any
+	if ok {
+		s.lru.MoveToFront(el)
+		// Extract under the lock: a concurrent Put may refresh the entry.
+		val = el.Value.(*entry).val
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put inserts (or refreshes) a value accounted at the given size in bytes,
+// evicting least-recently-used entries until the shard fits its budget.
+// Values larger than the shard budget are not cached at all.
+func (c *Cache) Put(key string, val any, size int64) {
+	if c == nil || c.budget <= 0 || size < 0 {
+		return
+	}
+	s := c.shard(key)
+	if size > s.budget {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		e.val, e.size = val, size
+		s.lru.MoveToFront(el)
+	} else {
+		s.items[key] = s.lru.PushFront(&entry{key: key, val: val, size: size})
+		s.bytes += size
+	}
+	evicted := 0
+	for s.bytes > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		if e.key == key {
+			// Never evict the entry just inserted/refreshed.
+			break
+		}
+		s.lru.Remove(back)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+// Stats snapshots the cache counters and occupancy.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Budget:    c.budget,
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.items)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}

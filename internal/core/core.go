@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/grid"
+	"repro/internal/index"
 	"repro/internal/layout"
 	"repro/internal/parallel"
 	"repro/internal/postproc"
@@ -35,8 +36,11 @@ import (
 
 // containerVersion is the current container format version. Version 2
 // widened SZ2BlockSize from a single (silently truncating) byte to a
-// uvarint; version-1 containers remain readable.
-const containerVersion = 2
+// uvarint; version 3 appends a self-describing block-index footer
+// (internal/index) after the last stream for random access. The v3 body is
+// byte-identical to a v2 body, the sequential decoder never reads the
+// footer, and version-1/2 containers remain readable.
+const containerVersion = 3
 
 // maxSZ2BlockSize bounds the v2 SZ2BlockSize field on both write and read:
 // large enough for any real block size, small enough that a corrupt uvarint
@@ -369,8 +373,23 @@ func (p *Prepared) Compress() (*Compressed, error) {
 	nbx := p.nx / p.blockB
 	nby := p.ny / p.blockB
 	levelBytes := make([]int, len(p.levels))
+	ix := &index.Index{
+		Opts:   indexOpts(o),
+		Nx:     p.nx,
+		Ny:     p.ny,
+		Nz:     p.nz,
+		BlockB: p.blockB,
+	}
 	next := 0
 	for li, pl := range p.levels {
+		ixl := index.Level{Blocks: pl.blocks, Padded: pl.padded}
+		addStream := func(box int, geom layout.Box, clen, rawLen int) {
+			ixl.Streams = append(ixl.Streams, len(ix.Streams))
+			ix.Streams = append(ix.Streams, index.Stream{
+				Level: li, Box: box, Geom: geom, Compressor: byte(o.Compressor),
+				Offset: int64(buf.Len()), Len: int64(clen), RawLen: int64(rawLen),
+			})
+		}
 		// Block list as deltas of flat indices (raster order for linear /
 		// stack; Morton order for zorder — order matters, so store as-is).
 		writeU(uint64(len(pl.blocks)))
@@ -384,29 +403,67 @@ func (p *Prepared) Compress() (*Compressed, error) {
 		buf.WriteByte(boolByte(pl.padded))
 		if p.opt.Arrangement == ArrangeTAC {
 			writeU(uint64(len(pl.boxes)))
-			for _, b := range pl.boxes {
+			for bi, b := range pl.boxes {
 				for _, v := range []int{b.X0, b.Y0, b.Z0, b.WX, b.WY, b.WZ} {
 					writeU(uint64(v))
 				}
 				stream := streams[next]
-				next++
 				writeU(uint64(len(stream)))
+				addStream(bi, b, len(stream), pl.boxFld[bi].Bytes())
 				buf.Write(stream)
+				next++
 				levelBytes[li] += len(stream)
 			}
+			ix.Levels = append(ix.Levels, ixl)
 			continue
 		}
 		if pl.merged == nil {
 			writeU(0)
+			ix.Levels = append(ix.Levels, ixl)
 			continue
 		}
 		stream := streams[next]
-		next++
 		writeU(uint64(len(stream)))
+		addStream(-1, layout.Box{}, len(stream), pl.merged.Bytes())
 		buf.Write(stream)
+		next++
 		levelBytes[li] += len(stream)
+		ix.Levels = append(ix.Levels, ixl)
 	}
-	return &Compressed{Blob: buf.Bytes(), LevelBytes: levelBytes}, nil
+	return &Compressed{Blob: ix.AppendFooter(buf.Bytes()), LevelBytes: levelBytes}, nil
+}
+
+// indexOpts echoes the container options into their index wire form.
+func indexOpts(o Options) index.Opts {
+	return index.Opts{
+		Compressor:  byte(o.Compressor),
+		Arrangement: byte(o.Arrangement),
+		Pad:         o.Pad,
+		PadKind:     byte(o.PadKind),
+		AdaptiveEB:  o.AdaptiveEB,
+		SZ2Block:    o.SZ2BlockSize,
+		Interp:      byte(o.Interp),
+		EB:          o.EB,
+		Alpha:       o.Alpha,
+		Beta:        o.Beta,
+	}
+}
+
+// OptionsFromIndex reconstructs decode options from an index's header echo
+// (the inverse of the echo written by Compress).
+func OptionsFromIndex(o index.Opts) Options {
+	return Options{
+		Compressor:   Compressor(o.Compressor),
+		Arrangement:  Arrangement(o.Arrangement),
+		Pad:          o.Pad,
+		PadKind:      layout.PadKind(o.PadKind),
+		AdaptiveEB:   o.AdaptiveEB,
+		SZ2BlockSize: o.SZ2Block,
+		Interp:       sz3.Interpolant(o.Interp),
+		EB:           o.EB,
+		Alpha:        o.Alpha,
+		Beta:         o.Beta,
+	}
 }
 
 // CompressHierarchy runs both stages.
@@ -547,6 +604,10 @@ type decodedLevel struct {
 	// streams holds one compressed payload per TAC box, or a single entry
 	// for the level's merged field (empty for an empty level).
 	streams [][]byte
+	// offsets holds each stream's absolute byte offset in the container,
+	// parallel to streams (used to synthesize an index for random access
+	// over containers without a footer).
+	offsets []int64
 }
 
 // container is the fully scanned (but not yet decoded) container.
@@ -566,7 +627,7 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 		return nil, nil, errors.New("core: bad magic")
 	}
 	version := blob[4]
-	if version != 1 && version != containerVersion {
+	if version < 1 || version > containerVersion {
 		return nil, nil, fmt.Errorf("core: unsupported version %d", version)
 	}
 	buf := blob[5:]
@@ -716,6 +777,7 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 				if uint64(len(buf)) < slen {
 					return nil, nil, errors.New("core: truncated box stream")
 				}
+				dl.offsets = append(dl.offsets, int64(len(blob)-len(buf)))
 				dl.streams = append(dl.streams, buf[:slen])
 				buf = buf[slen:]
 			}
@@ -731,12 +793,80 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 			if uint64(len(buf)) < slen {
 				return nil, nil, errors.New("core: truncated level stream")
 			}
+			dl.offsets = append(dl.offsets, int64(len(blob)-len(buf)))
 			dl.streams = append(dl.streams, buf[:slen])
 			buf = buf[slen:]
 		}
 		c.levels = append(c.levels, dl)
 	}
 	return c, h, nil
+}
+
+// DecodeStream decodes one backend stream (as located by a container
+// index) with the container's options. It is the per-stream decode seam the
+// random-access reader builds on.
+func DecodeStream(stream []byte, opt Options) (*field.Field, error) {
+	return decompressField(stream, opt)
+}
+
+// BuildIndex scans a full in-memory container and synthesizes the block
+// index a v3 footer would carry — the fallback that gives v1/v2 containers
+// (and v3 containers whose footer was lost) random access at the cost of
+// one sequential scan. Stream payloads are located but not decoded.
+func BuildIndex(blob []byte) (*index.Index, error) {
+	c, h, err := parseContainer(blob)
+	if err != nil {
+		return nil, err
+	}
+	ix := &index.Index{
+		Opts:   indexOpts(c.opt),
+		Nx:     h.Nx,
+		Ny:     h.Ny,
+		Nz:     h.Nz,
+		BlockB: h.BlockB,
+	}
+	for li, dl := range c.levels {
+		u := h.UnitBlockSize(li)
+		ixl := index.Level{Blocks: dl.blocks, Padded: dl.padded}
+		for si, s := range dl.streams {
+			st := index.Stream{
+				Level: li, Box: -1, Compressor: byte(c.opt.Compressor),
+				Offset: dl.offsets[si], Len: int64(len(s)),
+			}
+			if c.opt.Arrangement == ArrangeTAC {
+				st.Box = si
+				st.Geom = dl.boxes[si]
+				st.RawLen = int64(st.Geom.WX*u) * int64(st.Geom.WY*u) * int64(st.Geom.WZ*u) * 8
+			} else {
+				st.RawLen = mergedRawLen(c.opt.Arrangement, u, len(dl.blocks), dl.padded)
+			}
+			ixl.Streams = append(ixl.Streams, len(ix.Streams))
+			ix.Streams = append(ix.Streams, st)
+		}
+		ix.Levels = append(ix.Levels, ixl)
+	}
+	return ix, nil
+}
+
+// mergedRawLen computes the decoded byte size of a merged-level stream from
+// its arrangement, unit edge, block count, and padding flag.
+func mergedRawLen(a Arrangement, u, k int, padded bool) int64 {
+	if k == 0 {
+		return 0
+	}
+	switch a {
+	case ArrangeStack:
+		m := int64(math.Ceil(math.Cbrt(float64(k))))
+		return m * m * m * int64(u) * int64(u) * int64(u) * 8
+	case ArrangeZOrder1D:
+		return int64(u) * int64(u) * int64(u) * int64(k) * 8
+	default: // linear
+		nx, ny := int64(u), int64(u)
+		if padded {
+			nx, ny = nx+1, ny+1
+		}
+		return nx * ny * int64(u) * int64(k) * 8
+	}
 }
 
 func decompressImpl(blob []byte, post postHook, workers int) (*grid.Hierarchy, error) {

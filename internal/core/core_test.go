@@ -364,7 +364,7 @@ func TestV1ContainerReadPath(t *testing.T) {
 	if !ownershipEqual(g1, g2) || maxLevelError(g1, g2) != 0 {
 		t.Fatal("v1 and v2 decodes differ")
 	}
-	v1[4] = 3
+	v1[4] = containerVersion + 1
 	if _, err := Decompress(v1); err == nil {
 		t.Fatal("unknown version accepted")
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/grid"
+	"repro/internal/index"
 	"repro/internal/synth"
 	"repro/internal/sz2"
 	"repro/internal/sz3"
@@ -43,13 +44,29 @@ func TestContainerTruncationNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 	blob := c.Blob
-	for _, n := range []int{0, 1, 4, 5, 12, len(blob) / 4, len(blob) / 2, len(blob) - 1} {
+	// The index footer is strictly additive: cutting anywhere inside the
+	// body must error, while cutting only footer bytes still decodes (the
+	// sequential decoder never reads past the last stream).
+	body, ok := index.Locate(blob)
+	if !ok {
+		t.Fatal("compressed container has no index footer")
+	}
+	for _, n := range []int{0, 1, 4, 5, 12, body / 4, body / 2, body - 1} {
 		n := n
 		mustNotPanic(t, "truncated container", func() {
 			if _, err := Decompress(blob[:n]); err == nil {
 				t.Fatalf("truncation to %d bytes decoded successfully", n)
 			}
 		})
+	}
+	for _, n := range []int{body, body + 1, len(blob) - 1} {
+		g, err := Decompress(blob[:n])
+		if err != nil {
+			t.Fatalf("footer-only truncation to %d bytes failed to decode: %v", n, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("footer-only truncation to %d bytes decoded invalid hierarchy: %v", n, err)
+		}
 	}
 }
 

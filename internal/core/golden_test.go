@@ -8,27 +8,33 @@ import (
 	"testing"
 
 	"repro/internal/grid"
+	"repro/internal/index"
 	"repro/internal/synth"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current coder")
 
-// TestGoldenContainer locks the full container format — header layout plus
-// every per-stream SZ payload — across entropy-stage rewrites. The committed
-// fixture was produced by the pre-rewrite coder; the current encoder must
-// reproduce it byte-for-byte, and the current decoder must read it.
-func TestGoldenContainer(t *testing.T) {
+// goldenHierarchy is the fixed input both golden fixtures were produced
+// from.
+func goldenHierarchy(t *testing.T) (*grid.Hierarchy, float64) {
+	t.Helper()
 	f := synth.Generate(synth.Nyx, 32, 7)
 	h, err := grid.BuildAMR(f, 16, []float64{0.25, 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eb := f.ValueRange() * 1e-3
+	return h, f.ValueRange() * 1e-3
+}
+
+// TestGoldenContainer locks the full v3 container format — header layout,
+// every per-stream SZ payload, and the index footer — byte-for-byte.
+func TestGoldenContainer(t *testing.T) {
+	h, eb := goldenHierarchy(t)
 	c, err := CompressHierarchy(h, TACSZ3Options(eb))
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join("testdata", "golden-tac-sz3.mrc")
+	path := filepath.Join("testdata", "golden-tac-sz3-v3.mrw")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -46,5 +52,62 @@ func TestGoldenContainer(t *testing.T) {
 	}
 	if _, err := Decompress(want); err != nil {
 		t.Fatalf("decode fixture: %v", err)
+	}
+}
+
+// TestGoldenV2BodyIdentity proves the v3 format is strictly additive: the
+// v3 fixture's body, with only the version byte rewritten, must equal the
+// committed v2 fixture byte-for-byte — so decoders that ignore the index
+// see exactly the container they always saw.
+func TestGoldenV2BodyIdentity(t *testing.T) {
+	v3, err := os.ReadFile(filepath.Join("testdata", "golden-tac-sz3-v3.mrw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := os.ReadFile(filepath.Join("testdata", "golden-tac-sz3.mrc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, ok := index.Locate(v3)
+	if !ok {
+		t.Fatal("v3 fixture has no index footer")
+	}
+	asV2 := append([]byte(nil), v3[:body]...)
+	if asV2[4] != 3 {
+		t.Fatalf("v3 fixture has version byte %d", asV2[4])
+	}
+	asV2[4] = 2
+	if !bytes.Equal(asV2, v2) {
+		t.Fatalf("v3 body (%d bytes) is not the v2 container (%d bytes) plus a footer", body, len(v2))
+	}
+}
+
+// TestGoldenV2StillDecodes locks the v2 read path: the pre-index fixture
+// must keep decoding to exactly the hierarchy the current coder produces.
+func TestGoldenV2StillDecodes(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join("testdata", "golden-tac-sz3.mrc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatalf("decode v2 fixture: %v", err)
+	}
+	h, eb := goldenHierarchy(t)
+	c, err := CompressHierarchy(h, TACSZ3Options(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decompress(c.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Levels) != len(want.Levels) {
+		t.Fatalf("level count %d != %d", len(got.Levels), len(want.Levels))
+	}
+	for li := range got.Levels {
+		if !got.Levels[li].Data.Equal(want.Levels[li].Data) {
+			t.Fatalf("level %d: v2 fixture decode differs from current decode", li)
+		}
 	}
 }

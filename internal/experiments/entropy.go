@@ -92,4 +92,5 @@ func init() {
 			WriteEntropyTSV(w, rep)
 			return nil
 		})
+	registerJSON("entropy", EntropyBench, WriteEntropyTSV)
 }

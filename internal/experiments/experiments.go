@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/grid"
@@ -66,6 +67,38 @@ var registry []Experiment
 
 func register(id, title string, run func(io.Writer, Config) error) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// JSONExperiment is an experiment that can also emit a machine-readable
+// benchfmt.Report (consumed by `mrbench -json` and the committed
+// BENCH_*.json trajectories).
+type JSONExperiment struct {
+	// Run produces the report.
+	Run func(Config) (*benchfmt.Report, error)
+	// WriteTSV prints the report in the package's usual row style.
+	WriteTSV func(io.Writer, *benchfmt.Report)
+}
+
+var jsonRegistry = map[string]JSONExperiment{}
+
+func registerJSON(id string, run func(Config) (*benchfmt.Report, error), tsv func(io.Writer, *benchfmt.Report)) {
+	jsonRegistry[id] = JSONExperiment{Run: run, WriteTSV: tsv}
+}
+
+// JSONByID finds an experiment's machine-readable runner.
+func JSONByID(id string) (JSONExperiment, bool) {
+	e, ok := jsonRegistry[id]
+	return e, ok
+}
+
+// JSONIDs lists the experiments supporting -json output, sorted.
+func JSONIDs() []string {
+	ids := make([]string, 0, len(jsonRegistry))
+	for id := range jsonRegistry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // All returns every registered experiment sorted by ID.

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/reader"
+	"repro/internal/synth"
+)
+
+// ServeBench measures progressive random access against decode-everything
+// on a Size³ Nyx container: full core.Decompress versus reader.ReadLevel of
+// the coarsest and finest levels (cold: fresh reader, no cache; cached:
+// repeated reads of a warm reader) and a z-slice. This is the serving
+// subsystem's economics in one table — the coarsest-level read is the
+// first byte a progressive viewer sees, the cached read is what a hot
+// level costs under load. The committed BENCH_serve.json tracks these
+// numbers across PRs; regenerate with
+// `mrbench -exp serve -size 128 -json FILE`.
+func ServeBench(cfg Config) (*benchfmt.Report, error) {
+	cfg = cfg.withDefaults()
+	f := synth.Generate(synth.Nyx, cfg.Size, cfg.Seed)
+	h, err := grid.BuildAMR(f, 16, []float64{0.25, 0.35, 0.40})
+	if err != nil {
+		return nil, err
+	}
+	eb := hierarchyRange(h) * 1e-3
+	c, err := core.CompressHierarchy(h, core.SZ3MROptions(eb))
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "mrserve-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "field.mrw")
+	if err := os.WriteFile(path, c.Blob, 0o644); err != nil {
+		return nil, err
+	}
+
+	coarsest := len(h.Levels) - 1
+	probe, err := reader.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ix := probe.Index()
+	coarseRaw, fineRaw := int64(0), int64(0)
+	for _, si := range ix.Levels[coarsest].Streams {
+		coarseRaw += ix.Streams[si].RawLen
+	}
+	for _, si := range ix.Levels[0].Streams {
+		fineRaw += ix.Streams[si].RawLen
+	}
+	probe.Close()
+
+	rep := &benchfmt.Report{Config: map[string]any{
+		"dataset":             "nyx",
+		"size":                cfg.Size,
+		"seed":                cfg.Seed,
+		"eb":                  "1e-3 * value range",
+		"levels":              len(h.Levels),
+		"container_bytes":     len(c.Blob),
+		"coarsest_level":      coarsest,
+		"coarsest_comp_bytes": ix.CompressedBytes(coarsest),
+		"finest_comp_bytes":   ix.CompressedBytes(0),
+		"payload_bytes":       h.PayloadBytes(),
+	}}
+
+	// Keep total wall clock a few seconds regardless of size.
+	iters := 1 << 23 / (cfg.Size * cfg.Size * cfg.Size)
+	if iters < 1 {
+		iters = 1
+	} else if iters > 30 {
+		iters = 30
+	}
+	cheapIters := iters * 10
+
+	var benchErr error
+	keep := func(err error) {
+		if err != nil && benchErr == nil {
+			benchErr = err
+		}
+	}
+
+	rep.Measure("full_decompress", iters, int64(h.PayloadBytes()), func() {
+		_, err := core.Decompress(c.Blob)
+		keep(err)
+	})
+	rep.Measure("readlevel_coarsest_cold", cheapIters, coarseRaw, func() {
+		r, err := reader.OpenFile(path, reader.WithCache(nil))
+		if err != nil {
+			keep(err)
+			return
+		}
+		_, err = r.ReadLevel(coarsest)
+		keep(err)
+		r.Close()
+	})
+	rep.Measure("readlevel_finest_cold", iters, fineRaw, func() {
+		r, err := reader.OpenFile(path, reader.WithCache(nil))
+		if err != nil {
+			keep(err)
+			return
+		}
+		_, err = r.ReadLevel(0)
+		keep(err)
+		r.Close()
+	})
+	warm, err := reader.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer warm.Close()
+	rep.Measure("readlevel_coarsest_cached", cheapIters, coarseRaw, func() {
+		_, err := warm.ReadLevel(coarsest)
+		keep(err)
+	})
+	rep.Measure("readlevel_finest_cached", cheapIters, fineRaw, func() {
+		_, err := warm.ReadLevel(0)
+		keep(err)
+	})
+	nx0, ny0, _ := ix.LevelDims(0)
+	rep.Measure("readslice_z_cached", cheapIters, int64(nx0*ny0*8), func() {
+		_, err := warm.ReadSlice(reader.AxisZ, cfg.Size/2, 0)
+		keep(err)
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return rep, nil
+}
+
+// WriteServeTSV prints a serve report in the package's tab-separated style.
+func WriteServeTSV(w io.Writer, rep *benchfmt.Report) {
+	printHeader(w, fmt.Sprintf("Progressive access vs full decode: %v³ nyx, %v levels, %v-byte container",
+		rep.Config["size"], rep.Config["levels"], rep.Config["container_bytes"]),
+		"op", "ns/op", "MB/s")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\n", r.Name, r.NsPerOp, r.MBPerS)
+	}
+}
+
+func init() {
+	register("serve", "Progressive serving: ReadLevel/ReadSlice (cold+cached) vs full Decompress",
+		func(w io.Writer, cfg Config) error {
+			rep, err := ServeBench(cfg)
+			if err != nil {
+				return err
+			}
+			WriteServeTSV(w, rep)
+			return nil
+		})
+	registerJSON("serve", ServeBench, WriteServeTSV)
+}

@@ -1,0 +1,55 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzContainerIndex hammers the footer parser with mutated trailers and
+// sections — truncated footers, overflowing uvarints, offsets past EOF —
+// in the spirit of the header-scan hardening: the parser must reject or
+// accept, never panic, never allocate absurdly, and anything it accepts
+// must re-serialize into a parseable footer.
+func FuzzContainerIndex(f *testing.F) {
+	ix, body := sampleIndex()
+	f.Add(ix.AppendFooter(append([]byte(nil), body...)))
+	// A single-level merged container.
+	small := &Index{
+		Opts: Opts{Compressor: 0, Arrangement: 0},
+		Nx:   16, Ny: 16, Nz: 16, BlockB: 8,
+		Levels: []Level{{Blocks: [][3]int{{0, 0, 0}}, Streams: []int{0}}},
+		Streams: []Stream{
+			{Level: 0, Box: -1, Offset: 10, Len: 20, RawLen: 8 * 8 * 8 * 8},
+		},
+	}
+	f.Add(small.AppendFooter(make([]byte, 40)))
+	// A truncated footer and raw garbage.
+	full := ix.AppendFooter(append([]byte(nil), body...))
+	f.Add(full[:len(full)-7])
+	f.Add([]byte("MRIX\x01garbage"))
+	// An overflowing section-length field.
+	over := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint64(over[len(over)-12:], ^uint64(0))
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		got, err := ReadFrom(bytes.NewReader(blob), int64(len(blob)))
+		if err != nil {
+			return
+		}
+		// Whatever parses must survive a write→read round trip.
+		re := got.AppendFooter(nil)
+		body, ok := Locate(re)
+		if !ok || body != 0 {
+			t.Fatalf("re-serialized index not locatable (body=%d ok=%v)", body, ok)
+		}
+		if _, err := Parse(re[:len(re)-TrailerLen], 0); err != nil {
+			t.Fatalf("re-serialized index does not parse: %v", err)
+		}
+		// Locate must agree with ReadFrom on in-memory blobs.
+		if _, ok := Locate(blob); !ok {
+			t.Fatal("ReadFrom accepted a footer Locate rejects")
+		}
+	})
+}

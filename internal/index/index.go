@@ -1,0 +1,436 @@
+// Package index defines the self-describing block index appended as a
+// footer to version-3 workflow containers. The index names every backend
+// stream in the container — its level, TAC box id and geometry, backend
+// compressor, absolute byte offset, compressed length, and decoded (raw)
+// length — plus an echo of the container header and each level's block list,
+// so a consumer holding only the footer can seek directly to any stream and
+// reconstruct any level without scanning the body.
+//
+// The footer is strictly additive: the container body preceding it is
+// byte-identical to a version-2 body, and decoders that do not know about
+// the index simply never read past the last stream. A container whose
+// footer is lost or corrupt therefore degrades to sequential access instead
+// of becoming unreadable (package reader falls back to a full scan).
+//
+// # Wire format
+//
+// The index section is written immediately after the last stream:
+//
+//	"MRIX"                      leading magic (sanity check)
+//	u8      index format version (currently 1)
+//	u8 ×5   compressor, arrangement, pad, padKind, adaptiveEB
+//	uvarint SZ2 block size
+//	u8      interpolant
+//	f64 ×3  EB, Alpha, Beta (little endian)
+//	uvarint nx, ny, nz, blockB, nLevels
+//	per level:
+//	  uvarint block count, then varint deltas of flat block indices
+//	  u8      padded flag
+//	  uvarint stream count
+//	  per stream:
+//	    varint      box id (-1 for a merged-level stream)
+//	    uvarint ×6  box geometry (X0 Y0 Z0 WX WY WZ; only when box id >= 0)
+//	    u8          compressor
+//	    uvarint     absolute offset of the compressed stream
+//	    uvarint     compressed length
+//	    uvarint     raw (decoded) length in bytes
+//
+// followed by a fixed 16-byte trailer that terminates the container:
+//
+//	u32le  CRC-32 (IEEE) of the index section
+//	u64le  index section length in bytes
+//	"MRIX" trailing magic
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/layout"
+)
+
+// Magic brackets the index section: it opens the section and closes the
+// 16-byte trailer at the very end of the container.
+const Magic = "MRIX"
+
+// TrailerLen is the size of the fixed trailer terminating an indexed
+// container: CRC-32 + section length + closing magic.
+const TrailerLen = 4 + 8 + 4
+
+// formatVersion is the index wire-format version this package writes.
+const formatVersion = 1
+
+// Sanity bounds for the header echo; generous for any real dataset but
+// tight enough that a corrupt uvarint cannot drive huge allocations.
+const (
+	maxDim       = 1 << 24 // per-axis domain size
+	maxBlockB    = 1 << 24
+	maxLevels    = 64
+	maxSZ2Block  = 1 << 30 // matches core's maxSZ2BlockSize
+	maxStreamLen = int64(1) << 56
+)
+
+// ErrNoIndex reports that the container carries no index footer (a v1/v2
+// container, or a v3 container whose footer was truncated away).
+var ErrNoIndex = errors.New("index: container has no index footer")
+
+// Opts echoes the container header fields the reader needs to decode
+// streams, as raw wire values (package core converts them to its Options).
+type Opts struct {
+	Compressor  byte
+	Arrangement byte
+	Pad         bool
+	PadKind     byte
+	AdaptiveEB  bool
+	SZ2Block    int
+	Interp      byte
+	EB          float64
+	Alpha       float64
+	Beta        float64
+}
+
+// Stream locates one compressed backend stream inside the container.
+type Stream struct {
+	// Level is the resolution level the stream belongs to (0 = finest).
+	Level int
+	// Box is the TAC box id within the level, or -1 for a merged-level
+	// stream.
+	Box int
+	// Geom is the box geometry in block coordinates (TAC streams only).
+	Geom layout.Box
+	// Compressor is the backend that produced the stream.
+	Compressor byte
+	// Offset is the absolute byte offset of the stream in the container.
+	Offset int64
+	// Len is the compressed length in bytes.
+	Len int64
+	// RawLen is the decoded payload size in bytes (before unpadding).
+	RawLen int64
+}
+
+// Level is one level's reconstruction metadata.
+type Level struct {
+	// Blocks lists the level's unit blocks in merge order.
+	Blocks [][3]int
+	// Padded records whether the merged stream carries pad layers.
+	Padded bool
+	// Streams indexes into Index.Streams, in this level's stream order.
+	Streams []int
+}
+
+// Index is the parsed (or to-be-written) container index.
+type Index struct {
+	Opts               Opts
+	Nx, Ny, Nz, BlockB int
+	Levels             []Level
+	Streams            []Stream
+}
+
+// NumLevels returns the level count.
+func (ix *Index) NumLevels() int { return len(ix.Levels) }
+
+// LevelDims returns the full-domain dimensions of a level's data array.
+func (ix *Index) LevelDims(level int) (nx, ny, nz int) {
+	s := 1 << level
+	return ix.Nx / s, ix.Ny / s, ix.Nz / s
+}
+
+// UnitBlockSize returns the unit block edge at a level, in that level's own
+// cells.
+func (ix *Index) UnitBlockSize(level int) int { return ix.BlockB >> level }
+
+// CompressedBytes sums the compressed stream lengths of one level.
+func (ix *Index) CompressedBytes(level int) int64 {
+	var n int64
+	for _, si := range ix.Levels[level].Streams {
+		n += ix.Streams[si].Len
+	}
+	return n
+}
+
+// appendSection serializes the index section (without the trailer).
+func (ix *Index) appendSection(dst []byte) []byte {
+	dst = append(dst, Magic...)
+	dst = append(dst, formatVersion)
+	o := ix.Opts
+	dst = append(dst, o.Compressor, o.Arrangement, boolByte(o.Pad), o.PadKind, boolByte(o.AdaptiveEB))
+	dst = binary.AppendUvarint(dst, uint64(o.SZ2Block))
+	dst = append(dst, o.Interp)
+	for _, f := range []float64{o.EB, o.Alpha, o.Beta} {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	for _, v := range []int{ix.Nx, ix.Ny, ix.Nz, ix.BlockB, len(ix.Levels)} {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	nbx, nby := ix.Nx/ix.BlockB, ix.Ny/ix.BlockB
+	for _, lv := range ix.Levels {
+		dst = binary.AppendUvarint(dst, uint64(len(lv.Blocks)))
+		prev := int64(0)
+		for _, bc := range lv.Blocks {
+			flat := int64(bc[0] + nbx*(bc[1]+nby*bc[2]))
+			dst = binary.AppendVarint(dst, flat-prev)
+			prev = flat
+		}
+		dst = append(dst, boolByte(lv.Padded))
+		dst = binary.AppendUvarint(dst, uint64(len(lv.Streams)))
+		for _, si := range lv.Streams {
+			s := ix.Streams[si]
+			dst = binary.AppendVarint(dst, int64(s.Box))
+			if s.Box >= 0 {
+				for _, v := range []int{s.Geom.X0, s.Geom.Y0, s.Geom.Z0, s.Geom.WX, s.Geom.WY, s.Geom.WZ} {
+					dst = binary.AppendUvarint(dst, uint64(v))
+				}
+			}
+			dst = append(dst, s.Compressor)
+			dst = binary.AppendUvarint(dst, uint64(s.Offset))
+			dst = binary.AppendUvarint(dst, uint64(s.Len))
+			dst = binary.AppendUvarint(dst, uint64(s.RawLen))
+		}
+	}
+	return dst
+}
+
+// AppendFooter appends the serialized index section plus trailer to a
+// container body and returns the extended slice.
+func (ix *Index) AppendFooter(blob []byte) []byte {
+	start := len(blob)
+	blob = ix.appendSection(blob)
+	section := blob[start:]
+	var tr [TrailerLen]byte
+	binary.LittleEndian.PutUint32(tr[0:], crc32.ChecksumIEEE(section))
+	binary.LittleEndian.PutUint64(tr[4:], uint64(len(section)))
+	copy(tr[12:], Magic)
+	return append(blob, tr[:]...)
+}
+
+// Locate checks a fully in-memory container for an index trailer and, if
+// present and self-consistent, returns the body length (the offset where
+// the index section begins). ok is false when the container carries no
+// (intact) footer.
+func Locate(blob []byte) (bodyLen int, ok bool) {
+	if len(blob) < TrailerLen {
+		return 0, false
+	}
+	tr := blob[len(blob)-TrailerLen:]
+	if string(tr[12:16]) != Magic {
+		return 0, false
+	}
+	sectionLen := binary.LittleEndian.Uint64(tr[4:12])
+	if sectionLen > uint64(len(blob)-TrailerLen) {
+		return 0, false
+	}
+	body := len(blob) - TrailerLen - int(sectionLen)
+	section := blob[body : len(blob)-TrailerLen]
+	if crc32.ChecksumIEEE(section) != binary.LittleEndian.Uint32(tr[0:4]) {
+		return 0, false
+	}
+	return body, true
+}
+
+// ReadFrom reads and parses the index footer of a container accessed
+// through r with the given total size. It reads only the trailer and the
+// index section — never the stream payloads. Containers without a footer
+// return ErrNoIndex.
+func ReadFrom(r io.ReaderAt, size int64) (*Index, error) {
+	if size < TrailerLen {
+		return nil, ErrNoIndex
+	}
+	var tr [TrailerLen]byte
+	if _, err := r.ReadAt(tr[:], size-TrailerLen); err != nil {
+		return nil, fmt.Errorf("index: reading trailer: %w", err)
+	}
+	if string(tr[12:16]) != Magic {
+		return nil, ErrNoIndex
+	}
+	sectionLen := binary.LittleEndian.Uint64(tr[4:12])
+	if sectionLen > uint64(size-TrailerLen) || sectionLen > 1<<31 {
+		return nil, errors.New("index: implausible section length")
+	}
+	section := make([]byte, sectionLen)
+	if _, err := r.ReadAt(section, size-TrailerLen-int64(sectionLen)); err != nil {
+		return nil, fmt.Errorf("index: reading section: %w", err)
+	}
+	if crc32.ChecksumIEEE(section) != binary.LittleEndian.Uint32(tr[0:4]) {
+		return nil, errors.New("index: section CRC mismatch")
+	}
+	return Parse(section, size)
+}
+
+// Parse decodes an index section. containerSize, when > 0, bounds stream
+// extents: every stream must lie fully inside the container body.
+func Parse(section []byte, containerSize int64) (*Index, error) {
+	buf := section
+	fail := func(what string) error { return fmt.Errorf("index: truncated or corrupt section (%s)", what) }
+	if len(buf) < len(Magic)+1 || string(buf[:len(Magic)]) != Magic {
+		return nil, fail("magic")
+	}
+	buf = buf[len(Magic):]
+	if buf[0] != formatVersion {
+		return nil, fmt.Errorf("index: unsupported index version %d", buf[0])
+	}
+	buf = buf[1:]
+	readU := func() (uint64, bool) {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return 0, false
+		}
+		buf = buf[n:]
+		return v, true
+	}
+	readV := func() (int64, bool) {
+		v, n := binary.Varint(buf)
+		if n <= 0 {
+			return 0, false
+		}
+		buf = buf[n:]
+		return v, true
+	}
+	if len(buf) < 5 {
+		return nil, fail("options")
+	}
+	ix := &Index{}
+	ix.Opts.Compressor = buf[0]
+	ix.Opts.Arrangement = buf[1]
+	ix.Opts.Pad = buf[2] != 0
+	ix.Opts.PadKind = buf[3]
+	ix.Opts.AdaptiveEB = buf[4] != 0
+	buf = buf[5:]
+	bs, ok := readU()
+	if !ok || bs > maxSZ2Block {
+		return nil, fail("sz2 block size")
+	}
+	ix.Opts.SZ2Block = int(bs)
+	if len(buf) < 1+3*8 {
+		return nil, fail("interp/floats")
+	}
+	ix.Opts.Interp = buf[0]
+	buf = buf[1:]
+	for _, p := range []*float64{&ix.Opts.EB, &ix.Opts.Alpha, &ix.Opts.Beta} {
+		*p = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+	}
+	dims := make([]uint64, 5)
+	for i := range dims {
+		v, ok := readU()
+		if !ok {
+			return nil, fail("dims")
+		}
+		dims[i] = v
+	}
+	if dims[0] == 0 || dims[1] == 0 || dims[2] == 0 ||
+		dims[0] > maxDim || dims[1] > maxDim || dims[2] > maxDim {
+		return nil, fail("domain dims")
+	}
+	if dims[3] < 8 || dims[3] > maxBlockB || dims[3]&(dims[3]-1) != 0 {
+		return nil, fail("block size")
+	}
+	if dims[4] == 0 || dims[4] > maxLevels {
+		return nil, fail("level count")
+	}
+	ix.Nx, ix.Ny, ix.Nz = int(dims[0]), int(dims[1]), int(dims[2])
+	ix.BlockB = int(dims[3])
+	nLevels := int(dims[4])
+	if ix.Nx%ix.BlockB != 0 || ix.Ny%ix.BlockB != 0 || ix.Nz%ix.BlockB != 0 {
+		return nil, fail("dims not multiples of block size")
+	}
+	if ix.BlockB>>(nLevels-1) < 2 {
+		return nil, fail("levels too deep for block size")
+	}
+	nbx, nby, nbz := ix.Nx/ix.BlockB, ix.Ny/ix.BlockB, ix.Nz/ix.BlockB
+	nBlocksTotal := nbx * nby * nbz
+
+	for li := 0; li < nLevels; li++ {
+		var lv Level
+		nBlocks64, ok := readU()
+		if !ok || nBlocks64 > uint64(nBlocksTotal) {
+			return nil, fail("block count")
+		}
+		lv.Blocks = make([][3]int, int(nBlocks64))
+		prev := int64(0)
+		for i := range lv.Blocks {
+			d, ok := readV()
+			if !ok {
+				return nil, fail("block delta")
+			}
+			prev += d
+			flat := int(prev)
+			if flat < 0 || flat >= nBlocksTotal {
+				return nil, fail("block index out of range")
+			}
+			lv.Blocks[i] = [3]int{flat % nbx, (flat / nbx) % nby, flat / (nbx * nby)}
+		}
+		if len(buf) < 1 {
+			return nil, fail("padded flag")
+		}
+		lv.Padded = buf[0] != 0
+		buf = buf[1:]
+		nStreams64, ok := readU()
+		if !ok || nStreams64 > uint64(nBlocksTotal) {
+			return nil, fail("stream count")
+		}
+		for si := 0; si < int(nStreams64); si++ {
+			s := Stream{Level: li}
+			box64, ok := readV()
+			if !ok || box64 < -1 || box64 != int64(si) && box64 != -1 {
+				return nil, fail("stream box id")
+			}
+			s.Box = int(box64)
+			if s.Box < 0 && nStreams64 > 1 {
+				return nil, fail("merged level with multiple streams")
+			}
+			if s.Box >= 0 {
+				var g [6]int
+				for i := range g {
+					v, ok := readU()
+					if !ok || v > maxDim {
+						return nil, fail("box geometry")
+					}
+					g[i] = int(v)
+				}
+				s.Geom = layout.Box{X0: g[0], Y0: g[1], Z0: g[2], WX: g[3], WY: g[4], WZ: g[5]}
+				if s.Geom.WX < 1 || s.Geom.WY < 1 || s.Geom.WZ < 1 ||
+					s.Geom.X0+s.Geom.WX > nbx || s.Geom.Y0+s.Geom.WY > nby || s.Geom.Z0+s.Geom.WZ > nbz {
+					return nil, fail("box out of domain")
+				}
+			}
+			if len(buf) < 1 {
+				return nil, fail("stream compressor")
+			}
+			s.Compressor = buf[0]
+			buf = buf[1:]
+			vals := make([]uint64, 3)
+			for i := range vals {
+				v, ok := readU()
+				if !ok {
+					return nil, fail("stream extent")
+				}
+				vals[i] = v
+			}
+			if vals[0] > uint64(maxStreamLen) || vals[1] > uint64(maxStreamLen) || vals[2] > uint64(maxStreamLen) {
+				return nil, fail("stream extent overflow")
+			}
+			s.Offset, s.Len, s.RawLen = int64(vals[0]), int64(vals[1]), int64(vals[2])
+			if containerSize > 0 && s.Offset+s.Len > containerSize {
+				return nil, fail("stream past end of container")
+			}
+			lv.Streams = append(lv.Streams, len(ix.Streams))
+			ix.Streams = append(ix.Streams, s)
+		}
+		ix.Levels = append(ix.Levels, lv)
+	}
+	if len(buf) != 0 {
+		return nil, fail("trailing bytes")
+	}
+	return ix, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,145 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/layout"
+)
+
+// sampleIndex builds a representative two-level index over a fake body of
+// the given length: level 0 a TAC level with two boxes, level 1 a merged
+// padded level.
+func sampleIndex() (*Index, []byte) {
+	body := bytes.Repeat([]byte{0xAB}, 600)
+	ix := &Index{
+		Opts: Opts{
+			Compressor: 0, Arrangement: 2, Pad: true, PadKind: 1, AdaptiveEB: true,
+			SZ2Block: 260, Interp: 1, EB: 1e-3, Alpha: 2.25, Beta: 8,
+		},
+		Nx: 32, Ny: 32, Nz: 64, BlockB: 16,
+	}
+	ix.Streams = []Stream{
+		{Level: 0, Box: 0, Geom: layout.Box{X0: 0, Y0: 0, Z0: 0, WX: 2, WY: 1, WZ: 1}, Compressor: 0, Offset: 100, Len: 150, RawLen: 2 * 16 * 16 * 16 * 8},
+		{Level: 0, Box: 1, Geom: layout.Box{X0: 0, Y0: 1, Z0: 2, WX: 1, WY: 1, WZ: 2}, Compressor: 0, Offset: 250, Len: 100, RawLen: 2 * 16 * 16 * 16 * 8},
+		{Level: 1, Box: -1, Compressor: 0, Offset: 380, Len: 200, RawLen: 9 * 9 * 40 * 8},
+	}
+	ix.Levels = []Level{
+		{Blocks: [][3]int{{0, 0, 0}, {1, 0, 0}, {0, 1, 2}, {0, 1, 3}}, Streams: []int{0, 1}},
+		{Blocks: [][3]int{{1, 1, 1}, {0, 0, 3}}, Padded: true, Streams: []int{2}},
+	}
+	return ix, body
+}
+
+func TestFooterRoundTrip(t *testing.T) {
+	ix, body := sampleIndex()
+	blob := ix.AppendFooter(append([]byte(nil), body...))
+	if !bytes.Equal(blob[:len(body)], body) {
+		t.Fatal("AppendFooter modified the body")
+	}
+
+	bodyLen, ok := Locate(blob)
+	if !ok || bodyLen != len(body) {
+		t.Fatalf("Locate = (%d, %v), want (%d, true)", bodyLen, ok, len(body))
+	}
+
+	got, err := ReadFrom(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ix) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, ix)
+	}
+}
+
+func TestLevelAccessors(t *testing.T) {
+	ix, _ := sampleIndex()
+	if n := ix.NumLevels(); n != 2 {
+		t.Fatalf("NumLevels = %d", n)
+	}
+	if nx, ny, nz := ix.LevelDims(1); nx != 16 || ny != 16 || nz != 32 {
+		t.Fatalf("LevelDims(1) = %dx%dx%d", nx, ny, nz)
+	}
+	if u := ix.UnitBlockSize(1); u != 8 {
+		t.Fatalf("UnitBlockSize(1) = %d", u)
+	}
+	if b := ix.CompressedBytes(0); b != 250 {
+		t.Fatalf("CompressedBytes(0) = %d", b)
+	}
+}
+
+func TestNoFooter(t *testing.T) {
+	for _, blob := range [][]byte{nil, []byte("short"), bytes.Repeat([]byte{7}, 100)} {
+		if _, ok := Locate(blob); ok {
+			t.Fatalf("Locate accepted %d unindexed bytes", len(blob))
+		}
+		_, err := ReadFrom(bytes.NewReader(blob), int64(len(blob)))
+		if !errors.Is(err, ErrNoIndex) {
+			t.Fatalf("ReadFrom(%d unindexed bytes) = %v, want ErrNoIndex", len(blob), err)
+		}
+	}
+}
+
+func TestCorruptFooterRejected(t *testing.T) {
+	ix, body := sampleIndex()
+	blob := ix.AppendFooter(append([]byte(nil), body...))
+
+	// A flipped bit anywhere in the section fails the CRC.
+	mut := append([]byte(nil), blob...)
+	mut[len(body)+3] ^= 0x40
+	if _, ok := Locate(mut); ok {
+		t.Fatal("Locate accepted a CRC-corrupt footer")
+	}
+	if _, err := ReadFrom(bytes.NewReader(mut), int64(len(mut))); err == nil {
+		t.Fatal("ReadFrom accepted a CRC-corrupt footer")
+	}
+
+	// A truncated footer is indistinguishable from no footer.
+	for _, cut := range []int{1, TrailerLen - 1, TrailerLen, TrailerLen + 5} {
+		trunc := blob[:len(blob)-cut]
+		if _, err := ReadFrom(bytes.NewReader(trunc), int64(len(trunc))); err == nil {
+			t.Fatalf("ReadFrom accepted footer truncated by %d bytes", cut)
+		}
+	}
+
+	// A section-length field pointing past the start of the container.
+	huge := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(huge[len(huge)-12:], 1<<40)
+	if _, err := ReadFrom(bytes.NewReader(huge), int64(len(huge))); err == nil {
+		t.Fatal("ReadFrom accepted an oversized section length")
+	}
+}
+
+func TestParseRejectsStreamPastEOF(t *testing.T) {
+	ix, body := sampleIndex()
+	ix.Streams[2].Len = 1 << 30 // stream claims to extend far past the body
+	blob := ix.AppendFooter(append([]byte(nil), body...))
+	if _, err := ReadFrom(bytes.NewReader(blob), int64(len(blob))); err == nil {
+		t.Fatal("stream extending past EOF accepted")
+	}
+}
+
+func TestParseRejectsImplausibleHeaders(t *testing.T) {
+	_, body := sampleIndex()
+	cases := []struct {
+		name string
+		mut  func(*Index)
+	}{
+		{"zero dim", func(ix *Index) { ix.Nx = 0 }},
+		{"non-power-of-two block", func(ix *Index) { ix.BlockB = 12 }},
+		{"dim not multiple of block", func(ix *Index) { ix.Nx = 40 }},
+		{"block index out of range", func(ix *Index) { ix.Levels[0].Blocks[0] = [3]int{5, 5, 5} }},
+		{"box out of domain", func(ix *Index) { ix.Streams[0].Geom.WX = 9 }},
+	}
+	for _, tc := range cases {
+		m, _ := sampleIndex()
+		tc.mut(m)
+		blob := m.AppendFooter(append([]byte(nil), body...))
+		if _, err := ReadFrom(bytes.NewReader(blob), int64(len(blob))); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -53,25 +53,38 @@ func LinearMerge(h *grid.Hierarchy, level int) *Merged {
 	return &Merged{Data: out, U: u, Blocks: blocks}
 }
 
-// LinearUnmerge writes the merged blocks back into hierarchy level l,
-// setting ownership accordingly.
-func LinearUnmerge(m *Merged, h *grid.Hierarchy, level int) error {
-	u := h.UnitBlockSize(level)
-	if m.U != u {
-		return fmt.Errorf("layout: unit size %d != level unit size %d", m.U, u)
-	}
+// LinearPlace writes the merged blocks into dst, a full-domain array at the
+// level's resolution (each block lands at its domain position). It is the
+// placement half of LinearUnmerge, shared with the random-access reader,
+// which reconstructs single levels without allocating a hierarchy.
+func LinearPlace(m *Merged, dst *field.Field) error {
 	if m.Data == nil {
 		return nil
 	}
+	u := m.U
 	if m.Data.Nx != u || m.Data.Ny != u || m.Data.Nz != u*len(m.Blocks) {
 		return fmt.Errorf("layout: merged shape %v inconsistent with %d blocks of u=%d", m.Data, len(m.Blocks), u)
 	}
-	lv := h.Levels[level]
 	for i, bc := range m.Blocks {
+		if err := checkBlockFits(dst, bc, u); err != nil {
+			return err
+		}
 		b := m.Data.SubBlock(0, 0, i*u, u, u, u)
-		lv.Data.SetBlock(bc[0]*u, bc[1]*u, bc[2]*u, b)
-		lv.Owned[h.BlockIndex(bc[0], bc[1], bc[2])] = true
+		dst.SetBlock(bc[0]*u, bc[1]*u, bc[2]*u, b)
 	}
+	return nil
+}
+
+// LinearUnmerge writes the merged blocks back into hierarchy level l,
+// setting ownership accordingly.
+func LinearUnmerge(m *Merged, h *grid.Hierarchy, level int) error {
+	if err := checkUnitSize(m, h, level); err != nil {
+		return err
+	}
+	if err := LinearPlace(m, h.Levels[level].Data); err != nil {
+		return err
+	}
+	markOwned(m, h, level)
 	return nil
 }
 
@@ -109,21 +122,18 @@ func StackMerge(h *grid.Hierarchy, level int) *Merged {
 	return &Merged{Data: out, U: u, Blocks: blocks}
 }
 
-// StackUnmerge reverses StackMerge.
-func StackUnmerge(m *Merged, h *grid.Hierarchy, level int) error {
-	u := h.UnitBlockSize(level)
-	if m.U != u {
-		return fmt.Errorf("layout: unit size %d != level unit size %d", m.U, u)
-	}
+// StackPlace writes the stacked blocks into dst, a full-domain array at the
+// level's resolution; padding slots beyond the real blocks are discarded.
+func StackPlace(m *Merged, dst *field.Field) error {
 	if m.Data == nil {
 		return nil
 	}
+	u := m.U
 	k := len(m.Blocks)
 	mm := int(math.Ceil(math.Cbrt(float64(k))))
 	if m.Data.Nx != u*mm || m.Data.Ny != u*mm || m.Data.Nz != u*mm {
 		return fmt.Errorf("layout: stacked shape %v inconsistent with k=%d u=%d", m.Data, k, u)
 	}
-	lv := h.Levels[level]
 	slot := 0
 	for sz := 0; sz < mm; sz++ {
 		for sy := 0; sy < mm; sy++ {
@@ -132,13 +142,27 @@ func StackUnmerge(m *Merged, h *grid.Hierarchy, level int) error {
 					return nil
 				}
 				bc := m.Blocks[slot]
+				if err := checkBlockFits(dst, bc, u); err != nil {
+					return err
+				}
 				b := m.Data.SubBlock(sx*u, sy*u, sz*u, u, u, u)
-				lv.Data.SetBlock(bc[0]*u, bc[1]*u, bc[2]*u, b)
-				lv.Owned[h.BlockIndex(bc[0], bc[1], bc[2])] = true
+				dst.SetBlock(bc[0]*u, bc[1]*u, bc[2]*u, b)
 				slot++
 			}
 		}
 	}
+	return nil
+}
+
+// StackUnmerge reverses StackMerge.
+func StackUnmerge(m *Merged, h *grid.Hierarchy, level int) error {
+	if err := checkUnitSize(m, h, level); err != nil {
+		return err
+	}
+	if err := StackPlace(m, h.Levels[level].Data); err != nil {
+		return err
+	}
+	markOwned(m, h, level)
 	return nil
 }
 
@@ -381,26 +405,67 @@ func ZOrderFlatten1D(h *grid.Hierarchy, level int) *Merged {
 	return &Merged{Data: out, U: u, Blocks: blocks}
 }
 
-// ZOrderUnflatten1D reverses ZOrderFlatten1D.
-func ZOrderUnflatten1D(m *Merged, h *grid.Hierarchy, level int) error {
-	u := h.UnitBlockSize(level)
+// ZOrderPlace1D writes the Morton-flattened blocks into dst, a full-domain
+// array at the level's resolution.
+func ZOrderPlace1D(m *Merged, dst *field.Field) error {
 	if m.Data == nil {
 		return nil
 	}
+	u := m.U
 	per := u * u * u
 	if m.Data.Len() != per*len(m.Blocks) {
 		return fmt.Errorf("layout: 1D length %d inconsistent with %d blocks", m.Data.Len(), len(m.Blocks))
 	}
-	lv := h.Levels[level]
 	pos := 0
 	for _, bc := range m.Blocks {
+		if err := checkBlockFits(dst, bc, u); err != nil {
+			return err
+		}
 		b := field.New(u, u, u)
 		copy(b.Data, m.Data.Data[pos:pos+per])
 		pos += per
-		lv.Data.SetBlock(bc[0]*u, bc[1]*u, bc[2]*u, b)
-		lv.Owned[h.BlockIndex(bc[0], bc[1], bc[2])] = true
+		dst.SetBlock(bc[0]*u, bc[1]*u, bc[2]*u, b)
 	}
 	return nil
+}
+
+// ZOrderUnflatten1D reverses ZOrderFlatten1D.
+func ZOrderUnflatten1D(m *Merged, h *grid.Hierarchy, level int) error {
+	if err := checkUnitSize(m, h, level); err != nil {
+		return err
+	}
+	if err := ZOrderPlace1D(m, h.Levels[level].Data); err != nil {
+		return err
+	}
+	markOwned(m, h, level)
+	return nil
+}
+
+// checkUnitSize verifies a merged array's unit block edge matches the
+// destination level's.
+func checkUnitSize(m *Merged, h *grid.Hierarchy, level int) error {
+	if u := h.UnitBlockSize(level); m.U != u {
+		return fmt.Errorf("layout: unit size %d != level unit size %d", m.U, u)
+	}
+	return nil
+}
+
+// checkBlockFits verifies block coordinates land inside dst (defensive: the
+// block list may come from an untrusted container index).
+func checkBlockFits(dst *field.Field, bc [3]int, u int) error {
+	if bc[0] < 0 || bc[1] < 0 || bc[2] < 0 ||
+		(bc[0]+1)*u > dst.Nx || (bc[1]+1)*u > dst.Ny || (bc[2]+1)*u > dst.Nz {
+		return fmt.Errorf("layout: block %v of unit %d outside level array %v", bc, u, dst)
+	}
+	return nil
+}
+
+// markOwned flags the merged blocks as owned by the hierarchy level.
+func markOwned(m *Merged, h *grid.Hierarchy, level int) {
+	lv := h.Levels[level]
+	for _, bc := range m.Blocks {
+		lv.Owned[h.BlockIndex(bc[0], bc[1], bc[2])] = true
+	}
 }
 
 func sortBlocksMorton(blocks [][3]int) {

@@ -1,0 +1,60 @@
+package reader
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestV2GoldenFixtureThroughReader locks the committed pre-index (v2)
+// container against the random-access path: it must open via the
+// sequential-scan fallback and serve every level exactly as
+// core.Decompress reads it.
+func TestV2GoldenFixtureThroughReader(t *testing.T) {
+	path := filepath.Join("..", "core", "testdata", "golden-tac-sz3.mrc")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, blob)
+	if !r.FellBack() {
+		t.Fatal("v2 golden opened without the fallback scan")
+	}
+	if r.NumLevels() != len(want.Levels) {
+		t.Fatalf("NumLevels = %d, want %d", r.NumLevels(), len(want.Levels))
+	}
+	for l := range want.Levels {
+		got, err := r.ReadLevel(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want.Levels[l].Data) {
+			t.Fatalf("level %d of the v2 golden differs between reader and Decompress", l)
+		}
+	}
+
+	// The v3 golden serves identically through the indexed path.
+	v3, err := os.ReadFile(filepath.Join("..", "core", "testdata", "golden-tac-sz3-v3.mrw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := open(t, v3)
+	if r3.FellBack() {
+		t.Fatal("v3 golden took the fallback path")
+	}
+	for l := range want.Levels {
+		got, err := r3.ReadLevel(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want.Levels[l].Data) {
+			t.Fatalf("level %d differs between v3 golden and v2 golden", l)
+		}
+	}
+}

@@ -1,0 +1,438 @@
+// Package reader provides random access into compressed multi-resolution
+// containers: where core.Decompress parses and decodes every stream, a
+// Reader seeks directly to the streams a request needs — one level, one TAC
+// box, one slice — and decodes only those, so a consumer wanting the
+// coarsest level of a large container touches a few kilobytes instead of
+// the whole file.
+//
+// Open reads only the index footer of a version-3 container (internal/
+// index). Containers without a usable footer — version 1/2 blobs, or a v3
+// blob whose footer was truncated or corrupted — transparently fall back
+// to one sequential scan of the whole container (core.BuildIndex), after
+// which access is equally random.
+//
+// Decoded levels and boxes ("bricks") are cached in an optional sharded
+// byte-budgeted LRU (internal/cache), so repeated reads of hot levels skip
+// the backend decode entirely. Fields returned by Read* methods may be
+// served from that shared cache: treat them as read-only.
+//
+// A Reader is safe for concurrent use when its io.ReaderAt is (os.File and
+// bytes.Reader both are).
+package reader
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/index"
+	"repro/internal/layout"
+)
+
+// DefaultCacheBytes is the budget of the private brick cache a Reader
+// creates when WithCache is not given.
+const DefaultCacheBytes = 256 << 20
+
+// Axis names a slicing axis.
+type Axis int
+
+// Slicing axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "x"
+	case AxisY:
+		return "y"
+	case AxisZ:
+		return "z"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// ParseAxis converts "x", "y", or "z".
+func ParseAxis(s string) (Axis, error) {
+	switch s {
+	case "x":
+		return AxisX, nil
+	case "y":
+		return AxisY, nil
+	case "z":
+		return AxisZ, nil
+	}
+	return 0, fmt.Errorf("reader: unknown axis %q", s)
+}
+
+// Stats counts what a Reader actually did — the observable difference
+// between random access and decode-everything.
+type Stats struct {
+	// BackendDecodes is the number of compressed streams decoded.
+	BackendDecodes int64
+	// BytesRead is the number of compressed payload bytes fetched from the
+	// source (excluding the index footer; including the full-container scan
+	// when falling back on an unindexed blob).
+	BytesRead int64
+	// CacheHits and CacheMisses count brick-cache outcomes for this reader.
+	CacheHits, CacheMisses int64
+}
+
+// Option configures a Reader.
+type Option func(*Reader)
+
+// WithCache shares a brick cache across readers (the serving setup: one
+// byte budget for all open fields). Passing nil disables caching.
+func WithCache(c *cache.Cache) Option {
+	return func(r *Reader) { r.cache, r.cacheSet = c, true }
+}
+
+// WithCacheKey sets the prefix distinguishing this container's bricks in a
+// shared cache. Defaults to the file path for OpenFile, or a process-unique
+// id otherwise.
+func WithCacheKey(id string) Option {
+	return func(r *Reader) { r.id = id }
+}
+
+var nextID atomic.Int64
+
+// Reader is an open container handle.
+type Reader struct {
+	src      io.ReaderAt
+	size     int64
+	ix       *index.Index
+	opt      core.Options
+	cache    *cache.Cache
+	cacheSet bool
+	id       string
+	fellBack bool
+
+	backendDecodes atomic.Int64
+	bytesRead      atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+}
+
+// Open opens a container accessed through src with the given total size.
+// It reads the index footer (plus nothing else); unindexed containers cost
+// one full sequential scan up front.
+func Open(src io.ReaderAt, size int64, opts ...Option) (*Reader, error) {
+	r := &Reader{src: src, size: size}
+	for _, o := range opts {
+		o(r)
+	}
+	if !r.cacheSet {
+		r.cache = cache.New(DefaultCacheBytes, cache.DefaultShards)
+	}
+	if r.id == "" {
+		r.id = fmt.Sprintf("mrw#%d", nextID.Add(1))
+	}
+	ix, err := index.ReadFrom(src, size)
+	if err == nil {
+		r.ix = ix
+	} else {
+		// No footer (v1/v2, or truncated away) or a corrupt one (CRC
+		// mismatch, implausible contents): the body may still be perfectly
+		// intact, so degrade to one sequential scan rather than becoming
+		// unreadable. The synthesized stream offsets are absolute, so
+		// subsequent reads go back to src directly — the scan buffer is
+		// not retained (it would pin the whole container outside the
+		// brick-cache budget).
+		blob := make([]byte, size)
+		if _, err := src.ReadAt(blob, 0); err != nil {
+			return nil, fmt.Errorf("reader: scanning unindexed container: %w", err)
+		}
+		r.bytesRead.Add(size)
+		ix, err := core.BuildIndex(blob)
+		if err != nil {
+			return nil, err
+		}
+		// Re-validate through the footer parser: the sequential body scan
+		// is laxer about box geometry than index.Parse, and everything
+		// downstream (SetBlock placement) relies on its bounds.
+		section := ix.AppendFooter(nil)
+		if r.ix, err = index.Parse(section[:len(section)-index.TrailerLen], size); err != nil {
+			return nil, err
+		}
+		r.fellBack = true
+	}
+	r.opt = core.OptionsFromIndex(r.ix.Opts)
+	return r, nil
+}
+
+// FileReader is a Reader over an opened file.
+type FileReader struct {
+	*Reader
+	f *os.File
+}
+
+// Close releases the underlying file.
+func (fr *FileReader) Close() error { return fr.f.Close() }
+
+// OpenFile opens a container file for random access.
+func OpenFile(path string, opts ...Option) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := Open(f, st.Size(), append([]Option{WithCacheKey(path)}, opts...)...)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileReader{Reader: r, f: f}, nil
+}
+
+// Index exposes the parsed container index (read-only).
+func (r *Reader) Index() *index.Index { return r.ix }
+
+// Options returns the container's decode options.
+func (r *Reader) Options() core.Options { return r.opt }
+
+// NumLevels returns the container's level count.
+func (r *Reader) NumLevels() int { return r.ix.NumLevels() }
+
+// Dims returns the fine-level domain dimensions.
+func (r *Reader) Dims() (nx, ny, nz int) { return r.ix.Nx, r.ix.Ny, r.ix.Nz }
+
+// FellBack reports whether the container had no usable index footer and
+// was scanned sequentially instead.
+func (r *Reader) FellBack() bool { return r.fellBack }
+
+// Stats snapshots the reader's access counters.
+func (r *Reader) Stats() Stats {
+	return Stats{
+		BackendDecodes: r.backendDecodes.Load(),
+		BytesRead:      r.bytesRead.Load(),
+		CacheHits:      r.cacheHits.Load(),
+		CacheMisses:    r.cacheMisses.Load(),
+	}
+}
+
+// cached wraps the brick cache with reader-local hit/miss accounting.
+func (r *Reader) cachedField(key string) (*field.Field, bool) {
+	if v, ok := r.cache.Get(key); ok {
+		r.cacheHits.Add(1)
+		return v.(*field.Field), true
+	}
+	r.cacheMisses.Add(1)
+	return nil, false
+}
+
+// fetchStream reads and decodes stream si, without caching.
+func (r *Reader) fetchStream(si int) (*field.Field, error) {
+	s := r.ix.Streams[si]
+	payload := make([]byte, s.Len)
+	if _, err := r.src.ReadAt(payload, s.Offset); err != nil {
+		return nil, fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err)
+	}
+	r.bytesRead.Add(s.Len)
+	f, err := core.DecodeStream(payload, r.opt)
+	if err != nil {
+		return nil, fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err)
+	}
+	r.backendDecodes.Add(1)
+	if int64(f.Bytes()) != s.RawLen {
+		return nil, fmt.Errorf("reader: stream L%dB%d decoded to %d bytes, index says %d",
+			s.Level, s.Box, f.Bytes(), s.RawLen)
+	}
+	return f, nil
+}
+
+// boxBrick returns the decoded field of TAC stream si, via the cache.
+func (r *Reader) boxBrick(si int) (*field.Field, error) {
+	s := r.ix.Streams[si]
+	key := fmt.Sprintf("%s/L%d/B%d", r.id, s.Level, s.Box)
+	if f, ok := r.cachedField(key); ok {
+		return f, nil
+	}
+	f, err := r.fetchStream(si)
+	if err != nil {
+		return nil, err
+	}
+	u := r.ix.UnitBlockSize(s.Level)
+	if f.Nx != s.Geom.WX*u || f.Ny != s.Geom.WY*u || f.Nz != s.Geom.WZ*u {
+		return nil, fmt.Errorf("reader: box L%dB%d decoded shape %v does not match geometry %+v",
+			s.Level, s.Box, f, s.Geom)
+	}
+	r.cache.Put(key, f, int64(f.Bytes()))
+	return f, nil
+}
+
+// levelField returns a merged level's placed full-domain array, via the
+// cache. Valid only for non-TAC streams.
+func (r *Reader) levelField(l int) (*field.Field, error) {
+	key := fmt.Sprintf("%s/L%d", r.id, l)
+	if f, ok := r.cachedField(key); ok {
+		return f, nil
+	}
+	nx, ny, nz := r.ix.LevelDims(l)
+	out := field.New(nx, ny, nz)
+	lv := &r.ix.Levels[l]
+	if len(lv.Streams) > 0 {
+		f, err := r.fetchStream(lv.Streams[0])
+		if err != nil {
+			return nil, err
+		}
+		if lv.Padded {
+			if f.Nx < 2 || f.Ny < 2 {
+				return nil, fmt.Errorf("reader: level %d padded stream too small to unpad (%v)", l, f)
+			}
+			f = layout.UnpadXY(f)
+		}
+		m := &layout.Merged{Data: f, U: r.ix.UnitBlockSize(l), Blocks: lv.Blocks}
+		var err2 error
+		switch core.Arrangement(r.ix.Opts.Arrangement) {
+		case core.ArrangeLinear:
+			err2 = layout.LinearPlace(m, out)
+		case core.ArrangeStack:
+			err2 = layout.StackPlace(m, out)
+		case core.ArrangeZOrder1D:
+			err2 = layout.ZOrderPlace1D(m, out)
+		default:
+			err2 = fmt.Errorf("reader: unknown arrangement %d", r.ix.Opts.Arrangement)
+		}
+		if err2 != nil {
+			return nil, err2
+		}
+	}
+	r.cache.Put(key, out, int64(out.Bytes()))
+	return out, nil
+}
+
+func (r *Reader) checkLevel(l int) error {
+	if l < 0 || l >= len(r.ix.Levels) {
+		return fmt.Errorf("reader: level %d out of range [0,%d)", l, len(r.ix.Levels))
+	}
+	return nil
+}
+
+func (r *Reader) isTAC() bool {
+	return core.Arrangement(r.ix.Opts.Arrangement) == core.ArrangeTAC
+}
+
+// ReadLevel returns level l as a full-domain array at that level's
+// resolution, decoding (or fetching from cache) only that level's streams.
+// Samples of blocks owned by other levels are zero; the index's block
+// lists say which blocks are meaningful. The returned field may be shared
+// with the cache — treat it as read-only.
+func (r *Reader) ReadLevel(l int) (*field.Field, error) {
+	if err := r.checkLevel(l); err != nil {
+		return nil, err
+	}
+	if !r.isTAC() {
+		return r.levelField(l)
+	}
+	nx, ny, nz := r.ix.LevelDims(l)
+	out := field.New(nx, ny, nz)
+	u := r.ix.UnitBlockSize(l)
+	for _, si := range r.ix.Levels[l].Streams {
+		f, err := r.boxBrick(si)
+		if err != nil {
+			return nil, err
+		}
+		g := r.ix.Streams[si].Geom
+		out.SetBlock(g.X0*u, g.Y0*u, g.Z0*u, f)
+	}
+	return out, nil
+}
+
+// ReadBox returns TAC box b of level l and its geometry in block
+// coordinates, decoding only that box's stream. It errors on containers
+// whose arrangement has no boxes (use ReadLevel).
+func (r *Reader) ReadBox(l, b int) (*field.Field, layout.Box, error) {
+	if err := r.checkLevel(l); err != nil {
+		return nil, layout.Box{}, err
+	}
+	if !r.isTAC() {
+		return nil, layout.Box{}, fmt.Errorf("reader: container arrangement %v has no boxes", core.Arrangement(r.ix.Opts.Arrangement))
+	}
+	streams := r.ix.Levels[l].Streams
+	if b < 0 || b >= len(streams) {
+		return nil, layout.Box{}, fmt.Errorf("reader: box %d out of range [0,%d) in level %d", b, len(streams), l)
+	}
+	si := streams[b]
+	f, err := r.boxBrick(si)
+	if err != nil {
+		return nil, layout.Box{}, err
+	}
+	return f, r.ix.Streams[si].Geom, nil
+}
+
+// ReadSlice returns the 2D cross-section of level l at index k along the
+// given axis (in that level's cells), as a field whose sliced dimension is
+// 1. On TAC containers only boxes intersecting the plane are decoded; on
+// merged containers the level's single stream is decoded (once — repeats
+// hit the cache).
+func (r *Reader) ReadSlice(axis Axis, k, l int) (*field.Field, error) {
+	if err := r.checkLevel(l); err != nil {
+		return nil, err
+	}
+	nx, ny, nz := r.ix.LevelDims(l)
+	dim := [3]int{nx, ny, nz}
+	if axis < AxisX || axis > AxisZ {
+		return nil, fmt.Errorf("reader: invalid axis %d", axis)
+	}
+	if k < 0 || k >= dim[axis] {
+		return nil, fmt.Errorf("reader: slice %v=%d out of range [0,%d)", axis, k, dim[axis])
+	}
+	onx, ony, onz := nx, ny, nz
+	switch axis {
+	case AxisX:
+		onx = 1
+	case AxisY:
+		ony = 1
+	case AxisZ:
+		onz = 1
+	}
+	if !r.isTAC() {
+		lf, err := r.levelField(l)
+		if err != nil {
+			return nil, err
+		}
+		switch axis {
+		case AxisX:
+			return lf.SubBlock(k, 0, 0, 1, ny, nz), nil
+		case AxisY:
+			return lf.SubBlock(0, k, 0, nx, 1, nz), nil
+		default:
+			return lf.SliceZ(k), nil
+		}
+	}
+	out := field.New(onx, ony, onz)
+	u := r.ix.UnitBlockSize(l)
+	for _, si := range r.ix.Levels[l].Streams {
+		g := r.ix.Streams[si].Geom
+		lo := [3]int{g.X0 * u, g.Y0 * u, g.Z0 * u}
+		w := [3]int{g.WX * u, g.WY * u, g.WZ * u}
+		if k < lo[axis] || k >= lo[axis]+w[axis] {
+			continue // box does not intersect the plane; skip its decode
+		}
+		f, err := r.boxBrick(si)
+		if err != nil {
+			return nil, err
+		}
+		kl := k - lo[axis]
+		switch axis {
+		case AxisX:
+			out.SetBlock(0, lo[1], lo[2], f.SubBlock(kl, 0, 0, 1, w[1], w[2]))
+		case AxisY:
+			out.SetBlock(lo[0], 0, lo[2], f.SubBlock(0, kl, 0, w[0], 1, w[2]))
+		default:
+			out.SetBlock(lo[0], lo[1], 0, f.SubBlock(0, 0, kl, w[0], w[1], 1))
+		}
+	}
+	return out, nil
+}

@@ -33,18 +33,43 @@
 // (which *does* trade compression ratio for speed, as §IV-C notes for
 // OpenMP SZ2) lives separately in internal/parallelcomp; both are built on
 // the shared worker pool in internal/parallel.
+//
+// # Random access
+//
+// Containers written by this package (format version 3) end in a
+// self-describing block index (internal/index) naming every backend
+// stream's level, box, offset, and length. OpenContainer / OpenContainerFile
+// return a ContainerReader that seeks directly to the streams a request
+// needs and decodes only those:
+//
+//	r, err := repro.OpenContainerFile("field.mrw")
+//	coarse, err := r.ReadLevel(r.NumLevels() - 1) // decodes one stream
+//	plane, err := r.ReadSlice(repro.AxisZ, 16, 0) // one stream, or only
+//	                                              // intersecting TAC boxes
+//
+// Reads are backed by a sharded, byte-budgeted LRU brick cache; pass a
+// shared NewBrickCache to OpenContainerCached to bound decoded-brick
+// memory across many open containers (the mrserve setup). Fields returned
+// by Read* methods may be shared with that cache — treat them as
+// read-only. Containers from older versions of this package (v1/v2, no
+// index) remain readable everywhere: the reader falls back to one
+// sequential scan, after which access is equally random. cmd/mrserve
+// serves a directory of containers over HTTP on top of this API.
 package repro
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/postproc"
+	"repro/internal/reader"
 	"repro/internal/roi"
 	"repro/internal/uncertainty"
 )
@@ -311,6 +336,51 @@ func (r *Result) analyzeUncertainty(opt Options) error {
 	}
 	r.CrossProbabilities = p
 	return nil
+}
+
+// ContainerReader provides random access into a compressed container:
+// ReadLevel, ReadBox, and ReadSlice decode only the streams they need. See
+// the package doc's "Random access" section.
+type ContainerReader = reader.Reader
+
+// ContainerFile is a ContainerReader over an open file; Close releases it.
+type ContainerFile = reader.FileReader
+
+// BrickCache is the sharded byte-budgeted LRU holding decoded bricks.
+type BrickCache = cache.Cache
+
+// SliceAxis names the axis of a ReadSlice cross-section.
+type SliceAxis = reader.Axis
+
+// Slice axes.
+const (
+	AxisX = reader.AxisX
+	AxisY = reader.AxisY
+	AxisZ = reader.AxisZ
+)
+
+// NewBrickCache creates a brick cache bounded by budgetBytes (<= 0
+// disables caching), to be shared across OpenContainerCached calls.
+func NewBrickCache(budgetBytes int64) *BrickCache {
+	return cache.New(budgetBytes, cache.DefaultShards)
+}
+
+// OpenContainer opens a compressed container for random access. Indexed
+// (v3) containers cost one footer read; older containers cost one
+// sequential scan, after which access is equally random.
+func OpenContainer(src io.ReaderAt, size int64) (*ContainerReader, error) {
+	return reader.Open(src, size)
+}
+
+// OpenContainerCached is OpenContainer with a shared brick cache; key
+// distinguishes this container's bricks within it.
+func OpenContainerCached(src io.ReaderAt, size int64, c *BrickCache, key string) (*ContainerReader, error) {
+	return reader.Open(src, size, reader.WithCache(c), reader.WithCacheKey(key))
+}
+
+// OpenContainerFile opens a container file for random access.
+func OpenContainerFile(path string) (*ContainerFile, error) {
+	return reader.OpenFile(path)
 }
 
 // Decompress reconstructs the hierarchy from a compressed container.
