@@ -2,10 +2,18 @@
 // multi-resolution workflow.
 //
 // Compress a raw field file (24-byte dims header + float64 samples; see
-// internal/field) into a workflow container:
+// internal/field) into a workflow container. The container streams to the
+// output file as compression waves complete and is installed by atomic
+// rename, so memory stays bounded by the input plus one worker wave and no
+// reader ever sees a partial file:
 //
 //	mrcompress -c -i field.bin -o field.mrw -releb 1e-3 [-compressor sz3]
-//	           [-roiblock 16] [-roifrac 0.5] [-post] [-workers N]
+//	           [-roiblock 16] [-roifrac 0.5] [-workers N]
+//
+// With -quality (or -post, which needs the full round trip anyway) the
+// in-memory path runs instead and PSNR/SSIM against the input are printed:
+//
+//	mrcompress -c -i field.bin -o field.mrw -releb 1e-3 -quality
 //
 // Decompress a container back to a full-resolution raw field:
 //
@@ -46,6 +54,7 @@ func main() {
 		roiB    = flag.Int("roiblock", 16, "ROI block size (power of two > 4)")
 		roiFrac = flag.Float64("roifrac", 0.5, "fraction of blocks kept at full resolution")
 		post    = flag.Bool("post", false, "enable error-bounded post-processing")
+		quality = flag.Bool("quality", false, "with -c: decompress after compressing and report PSNR/SSIM (holds the container in memory)")
 		size    = flag.Int("size", 64, "edge size for -gen")
 		seed    = flag.Int64("seed", 42, "seed for -gen")
 		workers = flag.Int("workers", 0, "concurrent compression workers (0 = all cores, 1 = serial)")
@@ -82,17 +91,30 @@ func main() {
 		} else {
 			opt.RelEB = *releb
 		}
-		res, err := repro.CompressUniform(f, opt)
+		if *post || *quality {
+			// Post-processing and quality metrics need the decompressed
+			// reconstruction, so run the in-memory round-trip path.
+			res, err := repro.CompressUniform(f, opt)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, res.Blob, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("compressed %s -> %s\n", *in, *out)
+			fmt.Printf("  payload CR %.1f (vs uniform raw: %.1f)\n",
+				res.CompressionRatio, float64(f.Bytes())/float64(len(res.Blob)))
+			fmt.Printf("  PSNR %.2f dB, SSIM %.4f\n", res.PSNR, res.SSIM)
+			break
+		}
+		res, err := repro.CompressToFile(f, opt, *out)
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*out, res.Blob, 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("compressed %s -> %s\n", *in, *out)
+		fmt.Printf("compressed %s -> %s (streaming, %d bytes)\n", *in, *out, res.Bytes)
 		fmt.Printf("  payload CR %.1f (vs uniform raw: %.1f)\n",
-			res.CompressionRatio, float64(f.Bytes())/float64(len(res.Blob)))
-		fmt.Printf("  PSNR %.2f dB, SSIM %.4f\n", res.PSNR, res.SSIM)
+			res.CompressionRatio, float64(f.Bytes())/float64(res.Bytes))
+		fmt.Printf("  peak compressed buffer %d bytes (-quality for PSNR/SSIM)\n", res.MaxBufferedBytes)
 
 	case *dec && *level >= 0:
 		requireIn(*in)

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/synth"
+	"repro/internal/writer"
+)
+
+// rawFieldBody serializes a field in the PUT ingest wire format.
+func rawFieldBody(t *testing.T, f *field.Field) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+func doPut(t *testing.T, url string, body io.Reader) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// expectedLevels compresses a field with the ingest defaults and returns
+// the per-level reconstructions the server should serve for it.
+func expectedLevels(t *testing.T, f *field.Field) []*field.Field {
+	t.Helper()
+	res, err := repro.CompressUniform(f, repro.Options{RelEB: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := core.Decompress(res.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*field.Field, len(h.Levels))
+	for li := range h.Levels {
+		out[li] = h.Levels[li].Data
+	}
+	return out
+}
+
+// TestIngestEndpoint uploads a field, reads it back at every level,
+// replaces it with a second upload, and checks the served data flips —
+// through the reader, the listing, and the brick cache.
+func TestIngestEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := newServer(dir, 64<<20, 1<<30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() { ts.Close(); s.close() })
+
+	fA := synth.Generate(synth.Nyx, 32, 3)
+	code, body := doPut(t, ts.URL+"/v1/field/up", rawFieldBody(t, fA))
+	if code != http.StatusCreated {
+		t.Fatalf("first PUT: %d %s", code, body)
+	}
+	if !strings.Contains(string(body), `"container_bytes"`) {
+		t.Fatalf("PUT response: %s", body)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "up.mrw")); err != nil {
+		t.Fatalf("container not installed: %v", err)
+	}
+	wantA := expectedLevels(t, fA)
+	for li, want := range wantA {
+		code, lvl, _ := get(t, fmt.Sprintf("%s/v1/field/up/level/%d", ts.URL, li))
+		if code != 200 {
+			t.Fatalf("level %d: %d", li, code)
+		}
+		if !parseRawField(t, lvl).Equal(want) {
+			t.Fatalf("level %d differs from local compression with ingest defaults", li)
+		}
+	}
+	// Listing reflects the ingested field.
+	code, list, _ := get(t, ts.URL+"/v1/fields")
+	if code != 200 || !strings.Contains(string(list), `"up"`) {
+		t.Fatalf("listing after ingest: %d %s", code, list)
+	}
+
+	// Replace with different data: second PUT is a 200, and every level —
+	// including the ones just warmed into the brick cache — must flip.
+	fB := synth.Generate(synth.RT, 32, 9)
+	code, body = doPut(t, ts.URL+"/v1/field/up", rawFieldBody(t, fB))
+	if code != http.StatusOK {
+		t.Fatalf("replacing PUT: %d %s", code, body)
+	}
+	wantB := expectedLevels(t, fB)
+	for li, want := range wantB {
+		_, lvl, _ := get(t, fmt.Sprintf("%s/v1/field/up/level/%d", ts.URL, li))
+		got := parseRawField(t, lvl)
+		if !got.Equal(want) {
+			if got.Equal(wantA[li]) {
+				t.Fatalf("level %d still serves the replaced container (stale reader/cache)", li)
+			}
+			t.Fatalf("level %d differs from expected after replacement", li)
+		}
+	}
+	// The ingest endpoint shows up in metrics.
+	_, metrics, _ := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `mrserve_requests_total{endpoint="ingest"} 2`) {
+		t.Fatalf("ingest metrics missing:\n%s", metrics)
+	}
+}
+
+func TestIngestRejections(t *testing.T) {
+	dir := t.TempDir()
+	s, err := newServer(dir, 64<<20, 64<<10, 8) // 64 KiB ingest cap
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() { ts.Close(); s.close() })
+
+	f := synth.Generate(synth.Nyx, 32, 3) // 256 KiB raw: over the cap
+	if code, _ := doPut(t, ts.URL+"/v1/field/big", rawFieldBody(t, f)); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap PUT: %d", code)
+	}
+	// A tiny body whose header promises a huge field must be rejected from
+	// the header alone — before anything is allocated for it.
+	hdr := make([]byte, 24)
+	for _, off := range []int{0, 8, 16} {
+		hdr[off] = 0 // 2048 = 0x800
+		hdr[off+1] = 8
+	}
+	if code, _ := doPut(t, ts.URL+"/v1/field/huge", bytes.NewReader(hdr)); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("huge-header PUT: %d", code)
+	}
+	if code, _ := doPut(t, ts.URL+"/v1/field/..%2Fetc", rawFieldBody(t, f)); code != http.StatusBadRequest {
+		t.Fatalf("path-traversal PUT: %d", code)
+	}
+	if code, _ := doPut(t, ts.URL+"/v1/field/x?compressor=lzma", rawFieldBody(t, f)); code != http.StatusBadRequest {
+		t.Fatalf("unknown compressor: %d", code)
+	}
+	if code, _ := doPut(t, ts.URL+"/v1/field/x?releb=-1", rawFieldBody(t, f)); code != http.StatusBadRequest {
+		t.Fatalf("bad releb: %d", code)
+	}
+	if code, _ := doPut(t, ts.URL+"/v1/field/x", strings.NewReader("not a field")); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", code)
+	}
+	// Nothing half-written may remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("rejected ingests left files: %v", entries)
+	}
+}
+
+// TestReplaceWhileServing is the stale-reader regression test: requests
+// hammer a field while its container is atomically replaced on disk, and
+// (a) no request may fail or see torn data — every response is exactly the
+// old or the new reconstruction — and (b) responses must switch to the new
+// data once the replacement lands. Run under -race this also proves the
+// revalidate/close path is data-race free.
+func TestReplaceWhileServing(t *testing.T) {
+	dir := t.TempDir()
+	fA := synth.Generate(synth.Nyx, 32, 3)
+	fB := synth.Generate(synth.RT, 32, 9)
+	blob := func(f *field.Field) []byte {
+		res, err := repro.CompressUniform(f, repro.Options{RelEB: 1e-3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Blob
+	}
+	blobA, blobB := blob(fA), blob(fB)
+	path := filepath.Join(dir, "nyx.mrw")
+	if err := os.WriteFile(path, blobA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantA, wantB := expectedLevels(t, fA), expectedLevels(t, fB)
+
+	s, err := newServer(dir, 32<<20, 1<<30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() { ts.Close(); s.close() })
+
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			level := g % 2
+			url := fmt.Sprintf("%s/v1/field/nyx/level/%d", ts.URL, level)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != 200 {
+					errs <- fmt.Errorf("GET L%d: status %d, %v", level, resp.StatusCode, err)
+					return
+				}
+				got, err := field.ReadFrom(bytes.NewReader(body))
+				if err != nil {
+					errs <- fmt.Errorf("GET L%d: torn payload: %v", level, err)
+					return
+				}
+				if !got.Equal(wantA[level]) && !got.Equal(wantB[level]) {
+					errs <- fmt.Errorf("GET L%d: payload is neither old nor new data", level)
+					return
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let traffic warm the old reader + cache
+	if err := writer.AtomicFile(path, 0o644, func(w io.Writer) error {
+		_, err := w.Write(blobB)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh data must be served promptly after the swap.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body, _ := get(t, ts.URL+"/v1/field/nyx/level/1")
+		if parseRawField(t, body).Equal(wantB[1]) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Error("server kept serving stale data 10s after the container was replaced")
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// And the flip must be total: both levels now serve B.
+	for level := 0; level < 2; level++ {
+		_, body, _ := get(t, fmt.Sprintf("%s/v1/field/nyx/level/%d", ts.URL, level))
+		if !parseRawField(t, body).Equal(wantB[level]) {
+			t.Fatalf("level %d stale after replacement settled", level)
+		}
+	}
+}

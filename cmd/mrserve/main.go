@@ -13,16 +13,27 @@
 //	                                        field; ?format=json for JSON)
 //	GET /v1/field/{id}/slice?axis=z&k=16&level=0
 //	                                        one 2D cross-section
+//	PUT /v1/field/{id}                      ingest a raw field: compress it
+//	                                        (streaming, memory bounded by one
+//	                                        worker wave) and atomically
+//	                                        install it as {id}.mrw
+//	                                        [?releb=|eb=|compressor=|
+//	                                        roiblock=|roifrac=]
 //	GET /healthz                            liveness
 //	GET /metrics                            Prometheus text: request/latency
 //	                                        counters, cache hits/misses,
 //	                                        backend decodes
 //
-// Binary responses use the same raw field format as mrcompress (24-byte
-// little-endian dims header + float64 samples) and carry X-Mrw-Nx/Ny/Nz
-// headers. A client wanting a quick look fetches the coarsest level first
-// and refines on demand — the server never decodes more than each request
-// asks for.
+// Binary responses (and the PUT request body) use the same raw field format
+// as mrcompress (24-byte little-endian dims header + float64 samples);
+// responses carry X-Mrw-Nx/Ny/Nz headers. A client wanting a quick look
+// fetches the coarsest level first and refines on demand — the server never
+// decodes more than each request asks for.
+//
+// Replacing a served container — by PUT or by an external atomic copy —
+// takes effect on the next request: every lookup stat-revalidates the open
+// reader against the file on disk, and a replaced field's reader, listing
+// summary, and cached bricks are dropped together.
 package main
 
 import (
@@ -35,14 +46,15 @@ import (
 
 func main() {
 	var (
-		dir     = flag.String("dir", ".", "directory of .mrw containers to serve")
-		addr    = flag.String("addr", ":8080", "listen address")
-		cacheMB = flag.Int64("cache-mb", 256, "brick cache budget in MiB (0 disables caching)")
-		shards  = flag.Int("cache-shards", 16, "brick cache shard count")
+		dir         = flag.String("dir", ".", "directory of .mrw containers to serve")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheMB     = flag.Int64("cache-mb", 256, "brick cache budget in MiB (0 disables caching)")
+		shards      = flag.Int("cache-shards", 16, "brick cache shard count")
+		maxIngestMB = flag.Int64("max-ingest-mb", 1024, "largest raw field accepted by PUT ingest, in MiB")
 	)
 	flag.Parse()
 
-	s, err := newServer(*dir, *cacheMB<<20, *shards)
+	s, err := newServer(*dir, *cacheMB<<20, *maxIngestMB<<20, *shards)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,10 +64,15 @@ func main() {
 	}
 	fmt.Printf("mrserve: serving %d field(s) from %s on %s\n", len(ids), *dir, *addr)
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      s.handler(),
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 5 * time.Minute, // large fine-level payloads
+		Addr:    *addr,
+		Handler: s.handler(),
+		// Slow-header clients and idle keep-alive connections are bounded
+		// separately from body transfer: ingest uploads and fine-level
+		// downloads may legitimately take minutes, a header may not.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       10 * time.Minute, // large ingest bodies
+		WriteTimeout:      5 * time.Minute,  // large fine-level payloads
+		IdleTimeout:       2 * time.Minute,
 	}
 	if err := srv.ListenAndServe(); err != nil {
 		fatal(err)

@@ -2,8 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,18 +16,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro"
 	"repro/internal/cache"
 	"repro/internal/field"
 	"repro/internal/reader"
 )
 
 // server serves a directory of .mrw containers over HTTP. Containers are
-// opened lazily on first access and kept open; all readers share one brick
-// cache, so the byte budget bounds decoded memory across the whole
-// directory regardless of how many fields are hot.
+// opened lazily on first access and kept open while fresh: every lookup
+// stat-revalidates the path against the inode the reader holds, so a
+// container replaced on disk (PUT ingest, an external copy) is picked up on
+// the next request instead of being served stale forever. All readers share
+// one brick cache, so the byte budget bounds decoded memory across the
+// whole directory regardless of how many fields are hot.
 type server struct {
-	dir   string
-	cache *cache.Cache
+	dir            string
+	cache          *cache.Cache
+	maxIngestBytes int64
 
 	mu      sync.Mutex
 	readers map[string]*readerEntry
@@ -44,17 +52,48 @@ type cachedSummary struct {
 	modTime time.Time
 }
 
-// readerEntry is a per-field open slot: the sync.Once serializes the open
+// readerEntry is a per-field open slot. The sync.Once serializes the open
 // of one container without holding the server-wide mutex, so a slow open
 // (e.g. the sequential fallback scan of a large legacy container) blocks
-// only requests for that field.
+// only requests for that field. The reference count — one for residence in
+// the readers map, one per in-flight request — defers the Close of a
+// replaced container until its last in-flight request has finished, so a
+// file swap never yanks the reader out from under a response being written.
 type readerEntry struct {
 	once sync.Once
 	r    *reader.FileReader
 	err  error
+	// size and modTime fstat the file actually opened (set by the once,
+	// under the server mutex); lookups compare them against a fresh stat of
+	// the path to detect replacement.
+	size    int64
+	modTime time.Time
+
+	mu   sync.Mutex
+	refs int
 }
 
-func newServer(dir string, cacheBytes int64, shards int) (*server, error) {
+func (e *readerEntry) acquire() {
+	e.mu.Lock()
+	e.refs++
+	e.mu.Unlock()
+}
+
+// release drops one reference and closes the reader when the last holder
+// lets go. By the time refs can reach zero the entry's once has completed
+// (every holder acquired before using it), so reading e.r without the
+// server mutex is safe.
+func (e *readerEntry) release() {
+	e.mu.Lock()
+	e.refs--
+	last := e.refs == 0
+	e.mu.Unlock()
+	if last && e.r != nil {
+		e.r.Close()
+	}
+}
+
+func newServer(dir string, cacheBytes, maxIngestBytes int64, shards int) (*server, error) {
 	st, err := os.Stat(dir)
 	if err != nil {
 		return nil, err
@@ -63,11 +102,12 @@ func newServer(dir string, cacheBytes int64, shards int) (*server, error) {
 		return nil, fmt.Errorf("mrserve: %s is not a directory", dir)
 	}
 	return &server{
-		dir:       dir,
-		cache:     cache.New(cacheBytes, shards),
-		readers:   make(map[string]*readerEntry),
-		summaries: make(map[string]cachedSummary),
-		metrics:   newMetricsRegistry(),
+		dir:            dir,
+		cache:          cache.New(cacheBytes, shards),
+		maxIngestBytes: maxIngestBytes,
+		readers:        make(map[string]*readerEntry),
+		summaries:      make(map[string]cachedSummary),
+		metrics:        newMetricsRegistry(),
 	}, nil
 }
 
@@ -80,6 +120,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/field/{id}/meta", s.instrument("meta", s.handleMeta))
 	mux.HandleFunc("GET /v1/field/{id}/level/{level}", s.instrument("level", s.handleLevel))
 	mux.HandleFunc("GET /v1/field/{id}/slice", s.instrument("slice", s.handleSlice))
+	mux.HandleFunc("PUT /v1/field/{id}", s.instrument("ingest", s.handleIngest))
 	return mux
 }
 
@@ -93,12 +134,7 @@ func (s *server) close() {
 		// Wait out (or forestall) any in-flight open so its FileReader
 		// cannot be stored into an orphaned entry and leak.
 		e.once.Do(func() {})
-		s.mu.Lock()
-		r := e.r
-		s.mu.Unlock()
-		if r != nil {
-			r.Close()
-		}
+		e.release() // the map's reference; closes once in-flight requests drain
 	}
 }
 
@@ -116,29 +152,72 @@ func (s *server) fieldIDs() ([]string, error) {
 	return ids, nil
 }
 
-// getReader returns the open reader for a field id, opening it on first
-// use. Ids naming path components are rejected before touching the
-// filesystem. The server mutex covers only the map lookup; the open
+// validID rejects ids naming path components before they touch the
+// filesystem.
+func validID(id string) bool {
+	return id != "" && !strings.ContainsAny(id, `/\`) && !strings.Contains(id, "..")
+}
+
+// getReader returns the open reader for a field id (opening it on first
+// use) plus a release func the caller must invoke once done with it. The
+// server mutex covers only the map lookup and stat-revalidation; the open
 // itself runs under the entry's once, so concurrent requests for other
 // fields are never blocked by it.
-func (s *server) getReader(id string) (*reader.FileReader, error) {
-	if id == "" || strings.ContainsAny(id, `/\`) || strings.Contains(id, "..") {
-		return nil, errBadID
+func (s *server) getReader(id string) (*reader.FileReader, func(), error) {
+	if !validID(id) {
+		return nil, nil, errBadID
 	}
-	s.mu.Lock()
-	e, ok := s.readers[id]
-	if !ok {
-		e = &readerEntry{}
-		s.readers[id] = e
+	path := filepath.Join(s.dir, id+".mrw")
+	var e *readerEntry
+	for {
+		s.mu.Lock()
+		var ok bool
+		e, ok = s.readers[id]
+		if !ok {
+			e = &readerEntry{refs: 1} // the map's reference
+			s.readers[id] = e
+			e.acquire() // the request's reference
+			s.mu.Unlock()
+			break
+		}
+		e.acquire() // the request's reference
+		opened := e.r != nil
+		size, modTime := e.size, e.modTime
+		s.mu.Unlock()
+		if !opened {
+			break // open in flight; join it below
+		}
+		// Stat-revalidate outside the server mutex (the stat may block on a
+		// slow filesystem and must not serialize unrelated requests): when
+		// the file at the path no longer matches the inode this reader
+		// holds, the container was replaced — drop the stale reader (closed
+		// once its in-flight requests drain), the listing summary, and the
+		// field's decoded bricks, then retry with a fresh entry.
+		st, err := os.Stat(path)
+		if err == nil && st.Size() == size && st.ModTime().Equal(modTime) {
+			return e.r, e.release, nil
+		}
+		s.mu.Lock()
+		if s.readers[id] == e {
+			s.dropFieldLocked(id)
+		}
+		s.mu.Unlock()
+		e.release() // the request's reference on the stale entry
 	}
-	s.mu.Unlock()
 	e.once.Do(func() {
-		r, err := reader.OpenFile(filepath.Join(s.dir, id+".mrw"),
-			reader.WithCache(s.cache), reader.WithCacheKey(id))
-		// Store under the server mutex: /metrics and close() read entries
-		// without going through this once.
+		r, err := reader.OpenFile(path, reader.WithCache(s.cache), reader.WithCacheKey(id))
+		var size int64
+		var modTime time.Time
+		if err == nil {
+			if st, serr := r.Stat(); serr == nil {
+				size, modTime = st.Size(), st.ModTime()
+			}
+		}
+		// Store under the server mutex: /metrics, summarize, and close()
+		// read entries without going through this once.
 		s.mu.Lock()
 		e.r, e.err = r, err
+		e.size, e.modTime = size, modTime
 		s.mu.Unlock()
 	})
 	if e.err != nil {
@@ -147,11 +226,33 @@ func (s *server) getReader(id string) (*reader.FileReader, error) {
 		s.mu.Lock()
 		if s.readers[id] == e {
 			delete(s.readers, id)
+			e.release() // the map's reference
 		}
 		s.mu.Unlock()
-		return nil, e.err
+		e.release() // the request's reference
+		return nil, nil, e.err
 	}
-	return e.r, nil
+	return e.r, e.release, nil
+}
+
+// dropFieldLocked forgets every cached artifact of a field — the open
+// reader (closed when its last in-flight request finishes), the listing
+// summary, and its decoded bricks in the shared cache. Callers hold s.mu.
+func (s *server) dropFieldLocked(id string) {
+	if e, ok := s.readers[id]; ok {
+		delete(s.readers, id)
+		e.release() // the map's reference
+	}
+	delete(s.summaries, id)
+	s.cache.InvalidatePrefix(id + "/")
+}
+
+// invalidateField is dropFieldLocked behind the server mutex (the ingest
+// path's post-replace hook).
+func (s *server) invalidateField(id string) {
+	s.mu.Lock()
+	s.dropFieldLocked(id)
+	s.mu.Unlock()
 }
 
 var errBadID = fmt.Errorf("invalid field id")
@@ -213,7 +314,11 @@ type fieldSummary struct {
 // and is closed again.
 func (s *server) summarize(id string, st os.FileInfo) (fieldSummary, error) {
 	s.mu.Lock()
-	if e, ok := s.readers[id]; ok && e.r != nil {
+	// An open reader is only trusted while it still matches the file on
+	// disk; a replaced container falls through to the stat-validated
+	// summary cache (or a fresh transient read), so the listing never shows
+	// the old file's shape for the new file.
+	if e, ok := s.readers[id]; ok && e.r != nil && e.size == st.Size() && e.modTime.Equal(st.ModTime()) {
 		rd := e.r
 		s.mu.Unlock()
 		return makeSummary(id, rd.Reader, st), nil
@@ -281,11 +386,12 @@ type levelMeta struct {
 }
 
 func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
-	rd, err := s.getReader(r.PathValue("id"))
+	rd, release, err := s.getReader(r.PathValue("id"))
 	if err != nil {
 		s.httpError(w, err)
 		return
 	}
+	defer release()
 	ix := rd.Index()
 	opt := rd.Options()
 	levels := make([]levelMeta, 0, ix.NumLevels())
@@ -319,11 +425,12 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleLevel(w http.ResponseWriter, r *http.Request) {
-	rd, err := s.getReader(r.PathValue("id"))
+	rd, release, err := s.getReader(r.PathValue("id"))
 	if err != nil {
 		s.httpError(w, err)
 		return
 	}
+	defer release()
 	l, err := strconv.Atoi(r.PathValue("level"))
 	if err != nil {
 		http.Error(w, "bad level", http.StatusBadRequest)
@@ -343,11 +450,12 @@ func (s *server) handleLevel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
-	rd, err := s.getReader(r.PathValue("id"))
+	rd, release, err := s.getReader(r.PathValue("id"))
 	if err != nil {
 		s.httpError(w, err)
 		return
 	}
+	defer release()
 	q := r.URL.Query()
 	axisStr := q.Get("axis")
 	if axisStr == "" {
@@ -392,10 +500,115 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	writeField(w, r, f)
 }
 
+// --- ingest -----------------------------------------------------------------
+
+// ingestOptions maps PUT query parameters onto compression options. The
+// defaults are the paper's recommended configuration at releb 1e-3.
+func ingestOptions(q url.Values) (repro.Options, error) {
+	opt := repro.Options{RelEB: 1e-3, ROIBlockB: 16, ROITopFrac: 0.5}
+	if v := q.Get("releb"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return opt, fmt.Errorf("bad releb %q", v)
+		}
+		opt.RelEB = f
+	}
+	if v := q.Get("eb"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return opt, fmt.Errorf("bad eb %q", v)
+		}
+		opt.EB, opt.RelEB = f, 0
+	}
+	switch c := repro.Compressor(q.Get("compressor")); c {
+	case "", repro.SZ3, repro.SZ2, repro.ZFP:
+		opt.Compressor = c
+	default:
+		return opt, fmt.Errorf("unknown compressor %q", c)
+	}
+	if v := q.Get("roiblock"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 4 {
+			return opt, fmt.Errorf("bad roiblock %q", v)
+		}
+		opt.ROIBlockB = n
+	}
+	if v := q.Get("roifrac"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			return opt, fmt.Errorf("bad roifrac %q", v)
+		}
+		opt.ROITopFrac = f
+	}
+	return opt, nil
+}
+
+// handleIngest accepts a raw field (24-byte dims header + float64 samples —
+// the same format the level endpoint emits) and compresses it into the
+// served directory with the streaming write path: the container is built
+// wave by wave into a hidden temporary and atomically renamed over
+// {id}.mrw, so concurrent readers see either the old or the new container,
+// never a partial one. On success every cached artifact of the id — open
+// reader, listing summary, decoded bricks — is invalidated, so the next
+// request serves the new data. Compression is configured by query
+// parameters (releb, eb, compressor, roiblock, roifrac).
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validID(id) {
+		s.httpError(w, errBadID)
+		return
+	}
+	opt, err := ingestOptions(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// ReadFromLimit rejects a header whose dimensions imply more than the
+	// cap before allocating, so a tiny body cannot reserve gigabytes;
+	// MaxBytesReader bounds what the connection may actually deliver.
+	f, err := field.ReadFromLimit(http.MaxBytesReader(w, r.Body, s.maxIngestBytes), s.maxIngestBytes)
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) || errors.Is(err, field.ErrTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, fmt.Sprintf("bad field payload: %v", err), status)
+		return
+	}
+	path := filepath.Join(s.dir, id+".mrw")
+	_, statErr := os.Stat(path)
+	res, err := repro.CompressToFile(f, opt, path)
+	if err != nil {
+		// Filesystem faults are the server's problem; anything else is a
+		// payload/parameter the pipeline rejected.
+		status := http.StatusBadRequest
+		var perr *fs.PathError
+		if errors.As(err, &perr) {
+			status = http.StatusInternalServerError
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.invalidateField(id)
+	w.Header().Set("Content-Type", "application/json")
+	if os.IsNotExist(statErr) {
+		w.WriteHeader(http.StatusCreated)
+	}
+	writeJSON(w, map[string]any{
+		"id":                id,
+		"nx":                f.Nx,
+		"ny":                f.Ny,
+		"nz":                f.Nz,
+		"container_bytes":   res.Bytes,
+		"compression_ratio": res.CompressionRatio,
+	})
+}
+
 // --- metrics ----------------------------------------------------------------
 
 // endpoints instrumented with request/latency counters.
-var endpoints = []string{"healthz", "fields", "meta", "level", "slice"}
+var endpoints = []string{"healthz", "fields", "meta", "level", "slice", "ingest"}
 
 // metricsRegistry is a minimal fixed-cardinality Prometheus-style counter
 // set (no external deps; the text exposition format is trivial).

@@ -60,7 +60,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *server, map[string]*grid.Hi
 	}
 	want["tac"] = h2
 
-	s, err := newServer(dir, 64<<20, 8)
+	s, err := newServer(dir, 64<<20, 1<<30, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,14 +4,18 @@
 // skip the backend decode entirely.
 //
 // The cache is safe for concurrent use. Keys are sharded by FNV-1a hash so
-// concurrent readers of different bricks rarely contend on the same lock,
-// and each shard enforces its slice of the global byte budget independently
-// (a deliberately simple discipline: a pathological key distribution can
-// under-use the budget, but no distribution can overrun it).
+// concurrent readers of different bricks rarely contend on the same lock.
+// Each shard enforces its slice of the global byte budget for ordinary
+// entries, but a single entry may be up to half the *global* budget: large
+// bricks (the fine levels of big fields — the most expensive decodes) borrow
+// room from the other shards, which are swept least-recently-used-first
+// until the global budget fits again. No key distribution can overrun the
+// global budget.
 package cache
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -38,8 +42,13 @@ type Stats struct {
 // cache (every Get misses, every Put is dropped), so callers can thread an
 // optional cache without nil checks.
 type Cache struct {
-	shards    []shard
-	budget    int64
+	shards []shard
+	budget int64
+	// maxEntry is the largest single value admitted: the per-shard budget,
+	// or half the global budget when that is larger (the oversize
+	// exemption — see Put).
+	maxEntry  int64
+	bytes     atomic.Int64 // global occupancy, mirrored by the shard sums
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
@@ -74,6 +83,7 @@ func New(budgetBytes int64, nShards int) *Cache {
 	}
 	c := &Cache{shards: make([]shard, nShards), budget: budgetBytes}
 	per := budgetBytes / int64(nShards)
+	c.maxEntry = max(per, budgetBytes/2)
 	for i := range c.shards {
 		c.shards[i] = shard{lru: list.New(), items: make(map[string]*list.Element), budget: per}
 	}
@@ -90,8 +100,8 @@ func fnv1a(key string) uint32 {
 	return h
 }
 
-func (c *Cache) shard(key string) *shard {
-	return &c.shards[fnv1a(key)%uint32(len(c.shards))]
+func (c *Cache) shardIndex(key string) int {
+	return int(fnv1a(key) % uint32(len(c.shards)))
 }
 
 // Get returns the cached value for key and marks it most recently used.
@@ -99,7 +109,7 @@ func (c *Cache) Get(key string) (any, bool) {
 	if c == nil || c.budget <= 0 {
 		return nil, false
 	}
-	s := c.shard(key)
+	s := &c.shards[c.shardIndex(key)]
 	s.mu.Lock()
 	el, ok := s.items[key]
 	var val any
@@ -118,46 +128,131 @@ func (c *Cache) Get(key string) (any, bool) {
 }
 
 // Put inserts (or refreshes) a value accounted at the given size in bytes,
-// evicting least-recently-used entries until the shard fits its budget.
-// Values larger than the shard budget are not cached at all.
+// evicting least-recently-used entries until the budget fits. Ordinary
+// values are bounded by their shard's slice of the budget; a value larger
+// than that (but at most half the global budget) is still admitted — it
+// borrows room by sweeping the other shards' LRU tails — so the most
+// expensive bricks are never silently uncacheable. Values above the
+// admission bound are dropped.
 func (c *Cache) Put(key string, val any, size int64) {
 	if c == nil || c.budget <= 0 || size < 0 {
 		return
 	}
-	s := c.shard(key)
-	if size > s.budget {
+	if size > c.maxEntry {
 		return
 	}
+	si := c.shardIndex(key)
+	s := &c.shards[si]
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
 		e := el.Value.(*entry)
 		s.bytes += size - e.size
+		c.bytes.Add(size - e.size)
 		e.val, e.size = val, size
 		s.lru.MoveToFront(el)
 	} else {
 		s.items[key] = s.lru.PushFront(&entry{key: key, val: val, size: size})
 		s.bytes += size
+		c.bytes.Add(size)
 	}
+	// Shard-local eviction: an oversize entry may push out every ordinary
+	// co-resident; the shard then legitimately sits above its slice.
+	evicted := c.evictLocked(s, key, func() bool { return s.bytes > s.budget })
+	s.mu.Unlock()
+	// Global sweep: when the insert (typically an oversize one) pushed the
+	// whole cache over budget, reclaim from the other shards, one lock at a
+	// time, least recently used first within each shard.
+	for c.bytes.Load() > c.budget {
+		freed := 0
+		for i := 1; i < len(c.shards) && c.bytes.Load() > c.budget; i++ {
+			o := &c.shards[(si+i)%len(c.shards)]
+			o.mu.Lock()
+			freed += c.evictLocked(o, key, func() bool { return o.bytes > 0 && c.bytes.Load() > c.budget })
+			o.mu.Unlock()
+		}
+		evicted += freed
+		if freed == 0 {
+			// Nothing left to reclaim elsewhere; drain this shard (except
+			// the entry just inserted, which fits the global budget alone).
+			s.mu.Lock()
+			evicted += c.evictLocked(s, key, func() bool { return c.bytes.Load() > c.budget })
+			s.mu.Unlock()
+			break
+		}
+	}
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+// evictLocked removes s's LRU entries while cond holds, never evicting
+// keep. The shard lock must be held. Returns the eviction count.
+func (c *Cache) evictLocked(s *shard, keep string, cond func() bool) int {
 	evicted := 0
-	for s.bytes > s.budget {
+	for cond() {
 		back := s.lru.Back()
 		if back == nil {
 			break
 		}
 		e := back.Value.(*entry)
-		if e.key == key {
-			// Never evict the entry just inserted/refreshed.
+		if e.key == keep {
 			break
 		}
 		s.lru.Remove(back)
 		delete(s.items, e.key)
 		s.bytes -= e.size
+		c.bytes.Add(-e.size)
 		evicted++
 	}
-	s.mu.Unlock()
-	if evicted > 0 {
-		c.evictions.Add(int64(evicted))
+	return evicted
+}
+
+// Remove deletes the entry for key, if present, and reports whether it was.
+func (c *Cache) Remove(key string) bool {
+	if c == nil || c.budget <= 0 {
+		return false
 	}
+	s := &c.shards[c.shardIndex(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry)
+	s.lru.Remove(el)
+	delete(s.items, key)
+	s.bytes -= e.size
+	c.bytes.Add(-e.size)
+	return true
+}
+
+// InvalidatePrefix removes every entry whose key starts with prefix and
+// returns how many were dropped — the hook that lets a server drop one
+// container's bricks when its file is replaced. Invalidations are not
+// counted as evictions (nothing displaced them).
+func (c *Cache) InvalidatePrefix(prefix string) int {
+	if c == nil || c.budget <= 0 {
+		return 0
+	}
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, el := range s.items {
+			if !strings.HasPrefix(key, prefix) {
+				continue
+			}
+			e := el.Value.(*entry)
+			s.lru.Remove(el)
+			delete(s.items, key)
+			s.bytes -= e.size
+			c.bytes.Add(-e.size)
+			dropped++
+		}
+		s.mu.Unlock()
+	}
+	return dropped
 }
 
 // Stats snapshots the cache counters and occupancy.

@@ -60,6 +60,99 @@ func TestOversizedValueNotCached(t *testing.T) {
 	}
 }
 
+// TestLargerThanShardBudgetCached is the regression test for the silent
+// large-brick drop: with 4 shards over a 1000-byte budget each shard's
+// slice is 250 bytes, yet a 400-byte brick (the expensive fine-level case)
+// must still cache and be a hit on the second read.
+func TestLargerThanShardBudgetCached(t *testing.T) {
+	c := New(1000, 4)
+	c.Put("big", "brick", 400) // > per-shard 250, < global/2
+	v, ok := c.Get("big")
+	if !ok || v.(string) != "brick" {
+		t.Fatalf("brick above the per-shard budget was not cached (ok=%v)", ok)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("second read was not a hit: %+v", st)
+	}
+	// Above half the global budget the entry is (deliberately) dropped.
+	c.Put("toobig", 1, 501)
+	if _, ok := c.Get("toobig"); ok {
+		t.Fatal("entry above half the global budget was cached")
+	}
+}
+
+// TestOversizeEntryBorrowsWithoutOverrun fills every shard, inserts an
+// oversize entry, and checks the global budget still holds — the borrow
+// must come out of other shards' LRU tails.
+func TestOversizeEntryBorrowsWithoutOverrun(t *testing.T) {
+	c := New(1000, 4)
+	for i := 0; i < 40; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 100)
+	}
+	before := c.Stats()
+	if before.Bytes == 0 {
+		t.Fatal("warm-up cached nothing")
+	}
+	c.Put("big", "brick", 450)
+	st := c.Stats()
+	if st.Bytes > st.Budget {
+		t.Fatalf("global budget overrun after oversize put: %d > %d", st.Bytes, st.Budget)
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("oversize entry evicted by its own insert")
+	}
+	if st.Evictions == 0 {
+		t.Fatal("oversize insert displaced nothing despite a full cache")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(1000, 4)
+	c.Put("a", 1, 10)
+	if !c.Remove("a") {
+		t.Fatal("Remove of a present key returned false")
+	}
+	if c.Remove("a") {
+		t.Fatal("Remove of an absent key returned true")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("removed key still served")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("remove left residue: %+v", st)
+	}
+}
+
+func TestInvalidatePrefix(t *testing.T) {
+	c := New(1<<16, 4)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("nyx/L%d", i), i, 100)
+		c.Put(fmt.Sprintf("nyx2/L%d", i), i, 100)
+	}
+	if n := c.InvalidatePrefix("nyx/"); n != 8 {
+		t.Fatalf("InvalidatePrefix dropped %d entries, want 8", n)
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := c.Get(fmt.Sprintf("nyx/L%d", i)); ok {
+			t.Fatalf("nyx/L%d survived invalidation", i)
+		}
+		if _, ok := c.Get(fmt.Sprintf("nyx2/L%d", i)); !ok {
+			t.Fatalf("nyx2/L%d was wrongly invalidated", i)
+		}
+	}
+	if st := c.Stats(); st.Bytes != 800 {
+		t.Fatalf("occupancy after invalidation: %+v", st)
+	}
+	// No-op paths.
+	if n := c.InvalidatePrefix("absent/"); n != 0 {
+		t.Fatalf("invalidating an absent prefix dropped %d", n)
+	}
+	var nilCache *Cache
+	if n := nilCache.InvalidatePrefix("x"); n != 0 || nilCache.Remove("x") {
+		t.Fatal("nil cache invalidation not a no-op")
+	}
+}
+
 func TestDisabledAndNilCaches(t *testing.T) {
 	for name, c := range map[string]*Cache{"disabled": New(0, 4), "nil": nil} {
 		c.Put("k", 1, 1)

@@ -311,124 +311,57 @@ func (p *Prepared) jobs() []compressJob {
 	return jobs
 }
 
+// compressStream dispatches one job to the backend with level/box error
+// context (shared by the monolithic and streaming write paths).
+func (p *Prepared) compressStream(j compressJob) ([]byte, error) {
+	s, err := compressField(j.f, p.opt)
+	if err != nil {
+		if j.box >= 0 {
+			return nil, fmt.Errorf("core: level %d box %d: %w", j.level, j.box, err)
+		}
+		return nil, fmt.Errorf("core: level %d: %w", j.level, err)
+	}
+	return s, nil
+}
+
+// checkCompressOptions validates the write-time option invariants shared by
+// Compress and CompressTo.
+func (p *Prepared) checkCompressOptions() error {
+	if p.opt.SZ2BlockSize < 0 || p.opt.SZ2BlockSize > maxSZ2BlockSize {
+		return fmt.Errorf("core: SZ2 block size %d out of range [0, %d]", p.opt.SZ2BlockSize, maxSZ2BlockSize)
+	}
+	return nil
+}
+
 // Compress runs the compression stage over prepared buffers and serializes
-// everything into a container. Streams are compressed by a pool of
-// p.opt.Workers goroutines and collected in order, so the container is
-// byte-identical for every worker count.
+// everything into an in-memory container. Streams are compressed by a pool
+// of p.opt.Workers goroutines and collected in order, so the container is
+// byte-identical for every worker count — and byte-identical to what
+// CompressTo streams out. This path holds every compressed stream plus the
+// assembled blob in memory at once; CompressTo bounds that by one worker
+// wave instead.
 func (p *Prepared) Compress() (*Compressed, error) {
-	o := p.opt
-	if o.SZ2BlockSize < 0 || o.SZ2BlockSize > maxSZ2BlockSize {
-		return nil, fmt.Errorf("core: SZ2 block size %d out of range [0, %d]", o.SZ2BlockSize, maxSZ2BlockSize)
+	if err := p.checkCompressOptions(); err != nil {
+		return nil, err
 	}
 	jobs := p.jobs()
-	streams, err := parallel.MapErrWorkers(len(jobs), o.Workers, func(i int) ([]byte, error) {
-		j := jobs[i]
-		s, err := compressField(j.f, o)
-		if err != nil {
-			if j.box >= 0 {
-				return nil, fmt.Errorf("core: level %d box %d: %w", j.level, j.box, err)
-			}
-			return nil, fmt.Errorf("core: level %d: %w", j.level, err)
-		}
-		return s, nil
+	streams, err := parallel.MapErrWorkers(len(jobs), p.opt.Workers, func(i int) ([]byte, error) {
+		return p.compressStream(jobs[i])
 	})
 	if err != nil {
 		return nil, err
 	}
-
 	var buf bytes.Buffer
 	streamTotal := 0
 	for _, s := range streams {
 		streamTotal += len(s)
 	}
 	buf.Grow(streamTotal + 16*len(streams) + 256) // streams + per-stream/box headers
-	buf.WriteString("MRWF")
-	buf.WriteByte(containerVersion)
-	buf.WriteByte(byte(o.Compressor))
-	buf.WriteByte(byte(o.Arrangement))
-	buf.WriteByte(boolByte(o.Pad))
-	buf.WriteByte(byte(o.PadKind))
-	buf.WriteByte(boolByte(o.AdaptiveEB))
-	var tmp [binary.MaxVarintLen64]byte
-	writeU := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
-		buf.Write(tmp[:n])
-	}
-	writeU(uint64(o.SZ2BlockSize)) // v2: uvarint (v1 wrote a truncating byte)
-	buf.WriteByte(byte(o.Interp))
-	writeF := func(v float64) {
-		var b8 [8]byte
-		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
-		buf.Write(b8[:])
-	}
-	writeF(o.EB)
-	writeF(o.Alpha)
-	writeF(o.Beta)
-	writeU(uint64(p.nx))
-	writeU(uint64(p.ny))
-	writeU(uint64(p.nz))
-	writeU(uint64(p.blockB))
-	writeU(uint64(len(p.levels)))
-
-	nbx := p.nx / p.blockB
-	nby := p.ny / p.blockB
-	levelBytes := make([]int, len(p.levels))
-	ix := &index.Index{
-		Opts:   indexOpts(o),
-		Nx:     p.nx,
-		Ny:     p.ny,
-		Nz:     p.nz,
-		BlockB: p.blockB,
-	}
-	next := 0
-	for li, pl := range p.levels {
-		ixl := index.Level{Blocks: pl.blocks, Padded: pl.padded}
-		addStream := func(box int, geom layout.Box, clen, rawLen int) {
-			ixl.Streams = append(ixl.Streams, len(ix.Streams))
-			ix.Streams = append(ix.Streams, index.Stream{
-				Level: li, Box: box, Geom: geom, Compressor: byte(o.Compressor),
-				Offset: int64(buf.Len()), Len: int64(clen), RawLen: int64(rawLen),
-			})
-		}
-		// Block list as deltas of flat indices (raster order for linear /
-		// stack; Morton order for zorder — order matters, so store as-is).
-		writeU(uint64(len(pl.blocks)))
-		prev := int64(0)
-		for _, bc := range pl.blocks {
-			flat := int64(bc[0] + nbx*(bc[1]+nby*bc[2]))
-			n := binary.PutVarint(tmp[:], flat-prev)
-			buf.Write(tmp[:n])
-			prev = flat
-		}
-		buf.WriteByte(boolByte(pl.padded))
-		if p.opt.Arrangement == ArrangeTAC {
-			writeU(uint64(len(pl.boxes)))
-			for bi, b := range pl.boxes {
-				for _, v := range []int{b.X0, b.Y0, b.Z0, b.WX, b.WY, b.WZ} {
-					writeU(uint64(v))
-				}
-				stream := streams[next]
-				writeU(uint64(len(stream)))
-				addStream(bi, b, len(stream), pl.boxFld[bi].Bytes())
-				buf.Write(stream)
-				next++
-				levelBytes[li] += len(stream)
-			}
-			ix.Levels = append(ix.Levels, ixl)
-			continue
-		}
-		if pl.merged == nil {
-			writeU(0)
-			ix.Levels = append(ix.Levels, ixl)
-			continue
-		}
-		stream := streams[next]
-		writeU(uint64(len(stream)))
-		addStream(-1, layout.Box{}, len(stream), pl.merged.Bytes())
-		buf.Write(stream)
-		next++
-		levelBytes[li] += len(stream)
-		ix.Levels = append(ix.Levels, ixl)
+	ix, levelBytes, err := p.writeContainer(&wireWriter{w: &buf}, func(i int) ([]byte, error) {
+		return streams[i], nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Compressed{Blob: ix.AppendFooter(buf.Bytes()), LevelBytes: levelBytes}, nil
 }

@@ -1,0 +1,236 @@
+package core
+
+// Streaming container serialization. writeContainer is the single place a
+// container body is laid out on the wire; Compress feeds it from a slice of
+// pre-compressed streams, CompressTo from a bounded wave source, so the two
+// paths cannot diverge byte-wise.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/index"
+	"repro/internal/layout"
+	"repro/internal/parallel"
+)
+
+// wireWriter wraps a destination with error-latching primitive writers and
+// an offset counter (the index needs absolute stream offsets).
+type wireWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (ww *wireWriter) write(b []byte) {
+	if ww.err != nil {
+		return
+	}
+	m, err := ww.w.Write(b)
+	ww.n += int64(m)
+	ww.err = err
+}
+
+func (ww *wireWriter) writeByte(b byte) {
+	ww.tmp[0] = b
+	ww.write(ww.tmp[:1])
+}
+
+func (ww *wireWriter) writeUvarint(v uint64) {
+	n := binary.PutUvarint(ww.tmp[:], v)
+	ww.write(ww.tmp[:n])
+}
+
+func (ww *wireWriter) writeVarint(v int64) {
+	n := binary.PutVarint(ww.tmp[:], v)
+	ww.write(ww.tmp[:n])
+}
+
+func (ww *wireWriter) writeFloat(v float64) {
+	binary.LittleEndian.PutUint64(ww.tmp[:8], math.Float64bits(v))
+	ww.write(ww.tmp[:8])
+}
+
+// writeContainer serializes the container body (header, per-level metadata,
+// compressed streams) to ww, pulling stream i from streamAt — called exactly
+// once per stream, in serialization order, so a source may discard a stream
+// once handed over. It returns the populated index (ready for AppendFooter)
+// and the per-level compressed payload byte counts.
+func (p *Prepared) writeContainer(ww *wireWriter, streamAt func(int) ([]byte, error)) (*index.Index, []int, error) {
+	o := p.opt
+	ww.write([]byte("MRWF"))
+	ww.writeByte(containerVersion)
+	ww.writeByte(byte(o.Compressor))
+	ww.writeByte(byte(o.Arrangement))
+	ww.writeByte(boolByte(o.Pad))
+	ww.writeByte(byte(o.PadKind))
+	ww.writeByte(boolByte(o.AdaptiveEB))
+	ww.writeUvarint(uint64(o.SZ2BlockSize)) // v2: uvarint (v1 wrote a truncating byte)
+	ww.writeByte(byte(o.Interp))
+	ww.writeFloat(o.EB)
+	ww.writeFloat(o.Alpha)
+	ww.writeFloat(o.Beta)
+	ww.writeUvarint(uint64(p.nx))
+	ww.writeUvarint(uint64(p.ny))
+	ww.writeUvarint(uint64(p.nz))
+	ww.writeUvarint(uint64(p.blockB))
+	ww.writeUvarint(uint64(len(p.levels)))
+
+	nbx := p.nx / p.blockB
+	nby := p.ny / p.blockB
+	levelBytes := make([]int, len(p.levels))
+	ix := &index.Index{
+		Opts:   indexOpts(o),
+		Nx:     p.nx,
+		Ny:     p.ny,
+		Nz:     p.nz,
+		BlockB: p.blockB,
+	}
+	next := 0
+	emitStream := func(li, box int, geom layout.Box, rawLen int) error {
+		s, err := streamAt(next)
+		if err != nil {
+			return err
+		}
+		next++
+		ww.writeUvarint(uint64(len(s)))
+		ixl := &ix.Levels[li]
+		ixl.Streams = append(ixl.Streams, len(ix.Streams))
+		ix.Streams = append(ix.Streams, index.Stream{
+			Level: li, Box: box, Geom: geom, Compressor: byte(o.Compressor),
+			Offset: ww.n, Len: int64(len(s)), RawLen: int64(rawLen),
+		})
+		ww.write(s)
+		levelBytes[li] += len(s)
+		return nil
+	}
+	for li, pl := range p.levels {
+		ix.Levels = append(ix.Levels, index.Level{Blocks: pl.blocks, Padded: pl.padded})
+		// Block list as deltas of flat indices (raster order for linear /
+		// stack; Morton order for zorder — order matters, so store as-is).
+		ww.writeUvarint(uint64(len(pl.blocks)))
+		prev := int64(0)
+		for _, bc := range pl.blocks {
+			flat := int64(bc[0] + nbx*(bc[1]+nby*bc[2]))
+			ww.writeVarint(flat - prev)
+			prev = flat
+		}
+		ww.writeByte(boolByte(pl.padded))
+		if o.Arrangement == ArrangeTAC {
+			ww.writeUvarint(uint64(len(pl.boxes)))
+			for bi, b := range pl.boxes {
+				for _, v := range []int{b.X0, b.Y0, b.Z0, b.WX, b.WY, b.WZ} {
+					ww.writeUvarint(uint64(v))
+				}
+				if err := emitStream(li, bi, b, pl.boxFld[bi].Bytes()); err != nil {
+					return nil, nil, err
+				}
+			}
+			continue
+		}
+		if pl.merged == nil {
+			ww.writeUvarint(0)
+			continue
+		}
+		if err := emitStream(li, -1, layout.Box{}, pl.merged.Bytes()); err != nil {
+			return nil, nil, err
+		}
+	}
+	if ww.err != nil {
+		return nil, nil, ww.err
+	}
+	return ix, levelBytes, nil
+}
+
+// waveSource compresses container streams lazily, one wave of up to Workers
+// jobs at a time, handing each compressed stream to the serializer exactly
+// once and releasing it immediately after — so at most one wave of
+// compressed output is alive at any point, regardless of container size.
+type waveSource struct {
+	p           *Prepared
+	jobs        []compressJob
+	workers     int
+	wave        [][]byte
+	start       int // job index of wave[0]
+	maxBuffered int64
+}
+
+func (ws *waveSource) stream(i int) ([]byte, error) {
+	for i >= ws.start+len(ws.wave) {
+		ws.start += len(ws.wave)
+		n := min(ws.workers, len(ws.jobs)-ws.start)
+		base := ws.start
+		wave, err := parallel.MapErrWorkers(n, ws.workers, func(k int) ([]byte, error) {
+			return ws.p.compressStream(ws.jobs[base+k])
+		})
+		if err != nil {
+			return nil, err
+		}
+		ws.wave = wave
+		var total int64
+		for _, s := range wave {
+			total += int64(len(s))
+		}
+		if total > ws.maxBuffered {
+			ws.maxBuffered = total
+		}
+	}
+	s := ws.wave[i-ws.start]
+	ws.wave[i-ws.start] = nil // consumed: release for GC before the next wave
+	return s, nil
+}
+
+// WriteResult summarizes a streaming container write.
+type WriteResult struct {
+	// Bytes is the total container size written, index footer included.
+	Bytes int64
+	// LevelBytes records the compressed payload per level (diagnostics).
+	LevelBytes []int
+	// MaxBufferedBytes is the peak total of compressed stream bytes held in
+	// memory at once during the write: the streaming path's compressed
+	// working set, bounded by one wave of Workers streams rather than by
+	// the container size.
+	MaxBufferedBytes int64
+}
+
+// CompressTo runs the compression stage and streams the container to w as
+// worker waves complete: the header and each compressed stream are written
+// as soon as they are ready, and the block-index footer — built
+// incrementally alongside — is appended at the end. The bytes written are
+// identical to Compress().Blob for every worker count; peak memory beyond
+// the prepared buffers holds at most one wave of compressed streams plus
+// the footer, never the whole container.
+func (p *Prepared) CompressTo(w io.Writer) (*WriteResult, error) {
+	if err := p.checkCompressOptions(); err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	ws := &waveSource{p: p, jobs: p.jobs(), workers: p.opt.Workers}
+	ww := &wireWriter{w: bw}
+	ix, levelBytes, err := p.writeContainer(ww, ws.stream)
+	if err != nil {
+		return nil, err
+	}
+	ww.write(ix.AppendFooter(nil))
+	if ww.err != nil {
+		return nil, ww.err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return &WriteResult{Bytes: ww.n, LevelBytes: levelBytes, MaxBufferedBytes: ws.maxBuffered}, nil
+}
+
+// CompressHierarchyTo runs both stages, streaming the container to w. See
+// (*Prepared).CompressTo for the memory bound.
+func CompressHierarchyTo(h *grid.Hierarchy, opt Options, w io.Writer) (*WriteResult, error) {
+	p, err := Prepare(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.CompressTo(w)
+}

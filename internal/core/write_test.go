@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// writeConfigs spans every arrangement and compressor the container format
+// carries, the full matrix the streaming writer must reproduce exactly.
+func writeConfigs(eb float64) map[string]Options {
+	return map[string]Options{
+		"sz3mr":    SZ3MROptions(eb),
+		"baseline": BaselineSZ3Options(eb),
+		"stack":    AMRICSZ3Options(eb),
+		"tac":      TACSZ3Options(eb),
+		"zorder":   {EB: eb, Compressor: SZ3, Arrangement: ArrangeZOrder1D},
+		"sz2":      AMRICSZ2Options(eb),
+		"tac-sz2":  {EB: eb, Compressor: SZ2, Arrangement: ArrangeTAC},
+		"zfp":      MRZFPOptions(eb),
+		"tac-zfp":  {EB: eb, Compressor: ZFP, Arrangement: ArrangeTAC},
+	}
+}
+
+// TestCompressToMatchesCompress locks the tentpole invariant: the streaming
+// writer's output is byte-for-byte the monolithic Compress().Blob, for
+// every arrangement, every backend, and several worker counts (worker count
+// changes wave boundaries, never bytes).
+func TestCompressToMatchesCompress(t *testing.T) {
+	h, eb := goldenHierarchy(t)
+	for name, opt := range writeConfigs(eb) {
+		t.Run(name, func(t *testing.T) {
+			p, err := Prepare(h, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := p.Compress()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 7} {
+				wopt := opt
+				wopt.Workers = workers
+				wp, err := Prepare(h, wopt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				res, err := wp.CompressTo(&buf)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !bytes.Equal(buf.Bytes(), want.Blob) {
+					t.Fatalf("workers=%d: streamed container differs from Compress (%d vs %d bytes)",
+						workers, buf.Len(), len(want.Blob))
+				}
+				if res.Bytes != int64(len(want.Blob)) {
+					t.Fatalf("workers=%d: WriteResult.Bytes = %d, container is %d", workers, res.Bytes, len(want.Blob))
+				}
+				for li, lb := range res.LevelBytes {
+					if lb != want.LevelBytes[li] {
+						t.Fatalf("workers=%d: LevelBytes[%d] = %d, want %d", workers, li, lb, want.LevelBytes[li])
+					}
+				}
+				if len(wp.jobs()) > 0 && res.MaxBufferedBytes <= 0 {
+					t.Fatalf("workers=%d: MaxBufferedBytes not tracked", workers)
+				}
+				if res.MaxBufferedBytes > int64(len(want.Blob)) {
+					t.Fatalf("workers=%d: buffered %d bytes, more than the whole container", workers, res.MaxBufferedBytes)
+				}
+			}
+		})
+	}
+}
+
+// TestCompressToMatchesGoldenFixtures locks the streaming writer against
+// the committed fixtures directly: it must reproduce the v3 fixture
+// byte-for-byte, and its body (version byte rewritten, footer stripped)
+// must be the committed v2 fixture — the same identities the monolithic
+// path is held to.
+func TestCompressToMatchesGoldenFixtures(t *testing.T) {
+	h, eb := goldenHierarchy(t)
+	p, err := Prepare(h, TACSZ3Options(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.CompressTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v3, err := os.ReadFile(filepath.Join("testdata", "golden-tac-sz3-v3.mrw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), v3) {
+		t.Fatalf("streamed container diverged from the v3 golden fixture (%d vs %d bytes)", buf.Len(), len(v3))
+	}
+	v2, err := os.ReadFile(filepath.Join("testdata", "golden-tac-sz3.mrc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, ok := index.Locate(buf.Bytes())
+	if !ok {
+		t.Fatal("streamed container has no index footer")
+	}
+	asV2 := append([]byte(nil), buf.Bytes()[:body]...)
+	asV2[4] = 2
+	if !bytes.Equal(asV2, v2) {
+		t.Fatal("streamed body is not the v2 fixture plus a footer")
+	}
+}
+
+// TestCompressToStreamedContainerDecodes round-trips a streamed container
+// through both the sequential decoder and a CompressHierarchyTo write.
+func TestCompressToStreamedContainerDecodes(t *testing.T) {
+	h, eb := goldenHierarchy(t)
+	var buf bytes.Buffer
+	if _, err := CompressHierarchyTo(h, SZ3MROptions(eb), &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompressHierarchy(h, SZ3MROptions(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decompress(c.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range want.Levels {
+		if !got.Levels[li].Data.Equal(want.Levels[li].Data) {
+			t.Fatalf("level %d differs between streamed and monolithic round trips", li)
+		}
+	}
+}
+
+// failAfter errors once n bytes have been accepted.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, f.err
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestCompressToPropagatesWriteErrors proves a failing destination surfaces
+// the sink's error instead of a panic or silent truncation.
+func TestCompressToPropagatesWriteErrors(t *testing.T) {
+	h, eb := goldenHierarchy(t)
+	p, err := Prepare(h, SZ3MROptions(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Compress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkErr := errors.New("sink full")
+	// Fail in the header, mid-body, and inside the footer.
+	for _, limit := range []int{0, 3, 100, len(c.Blob) - 4} {
+		_, err := p.CompressTo(&failAfter{n: limit, err: sinkErr})
+		if !errors.Is(err, sinkErr) {
+			t.Fatalf("limit %d: error %v, want the sink's", limit, err)
+		}
+	}
+}
+
+// TestCompressToWaveBound checks the advertised memory discipline: with
+// Workers=1 the writer never holds more than the largest single compressed
+// stream.
+func TestCompressToWaveBound(t *testing.T) {
+	h, eb := goldenHierarchy(t)
+	opt := TACSZ3Options(eb) // TAC: many streams per container
+	opt.Workers = 1
+	p, err := Prepare(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Compress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	largest := 0
+	ix, err := BuildIndex(c.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Streams) < 2 {
+		t.Fatalf("want a multi-stream container, got %d streams", len(ix.Streams))
+	}
+	for _, s := range ix.Streams {
+		largest = max(largest, int(s.Len))
+	}
+	var buf bytes.Buffer
+	res, err := p.CompressTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxBufferedBytes > int64(largest) {
+		t.Fatalf("serial write buffered %d bytes, largest stream is %d", res.MaxBufferedBytes, largest)
+	}
+}
+
+func init() {
+	// Guard against accidentally quadratic fixture configs.
+	if len(writeConfigs(1)) < 9 {
+		panic(fmt.Sprintf("writeConfigs shrank: %d", len(writeConfigs(1))))
+	}
+}

@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-padkind", "abl-padthreshold", "abl-alphabeta", "abl-interp",
 		"abl-sampling", "abl-arrange", "abl-curve",
 		"ext-halo", "ext-volren",
+		"serve", "write",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/synth"
+)
+
+// WriteBench measures the streaming container write path (CompressTo into
+// a file, emitting streams as worker waves complete) against the monolithic
+// path (Compress assembling the whole blob in memory, then one WriteFile)
+// on a Size³ Nyx container. Two quantities per path:
+//
+//   - wall clock per compress-and-persist;
+//   - the write path's working set. The deterministic numbers are exact:
+//     the monolithic path retains every compressed stream plus the
+//     assembled blob (working_set_bytes_monolithic), the streaming path at
+//     most one wave of streams (working_set_bytes_streaming*, measured by
+//     the writer itself). peak_heap_bytes_* corroborates with a sampled
+//     HeapAlloc high-water mark above the post-Prepare baseline, which also
+//     captures transient compressor allocations shared by both paths.
+//
+// The committed BENCH_write.json tracks these numbers across PRs;
+// regenerate with `mrbench -exp write -size 128 -json FILE`.
+func WriteBench(cfg Config) (*benchfmt.Report, error) {
+	cfg = cfg.withDefaults()
+	f := synth.Generate(synth.Nyx, cfg.Size, cfg.Seed)
+	h, err := grid.BuildAMR(f, 16, []float64{0.25, 0.35, 0.40})
+	if err != nil {
+		return nil, err
+	}
+	eb := hierarchyRange(h) * 1e-3
+	opt := core.SZ3MROptions(eb)
+	opt.Workers = cfg.Workers
+
+	dir, err := os.MkdirTemp("", "mrw-writebench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "field.mrw")
+
+	// One probe run pins the deterministic sizes (identical every run).
+	prep, err := core.Prepare(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	c, err := prep.Compress()
+	if err != nil {
+		return nil, err
+	}
+	streamTotal := 0
+	for _, lb := range c.LevelBytes {
+		streamTotal += lb
+	}
+	monolithicWorkingSet := int64(streamTotal + len(c.Blob))
+
+	rep := &benchfmt.Report{Config: map[string]any{
+		"dataset":                      "nyx",
+		"size":                         cfg.Size,
+		"seed":                         cfg.Seed,
+		"eb":                           "1e-3 * value range",
+		"levels":                       len(h.Levels),
+		"container_bytes":              len(c.Blob),
+		"payload_bytes":                h.PayloadBytes(),
+		"working_set_bytes_monolithic": monolithicWorkingSet,
+	}}
+
+	iters := 1 << 23 / (cfg.Size * cfg.Size * cfg.Size)
+	if iters < 1 {
+		iters = 1
+	} else if iters > 8 {
+		iters = 8
+	}
+
+	payload := int64(h.PayloadBytes())
+	var benchErr error
+	keep := func(err error) {
+		if err != nil && benchErr == nil {
+			benchErr = err
+		}
+	}
+
+	measure := func(name string, workers int, fn func(p *core.Prepared) error) {
+		o := opt
+		o.Workers = workers
+		p, err := core.Prepare(h, o)
+		if err != nil {
+			keep(err)
+			return
+		}
+		keep(fn(p)) // warm-up, outside the peak window
+		runtime.GC()
+		var base runtime.MemStats
+		runtime.ReadMemStats(&base)
+		stop := make(chan struct{})
+		peakc := make(chan uint64)
+		go func() {
+			peak := uint64(0)
+			var ms runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					peakc <- peak
+					return
+				default:
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peak {
+						peak = ms.HeapAlloc
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			keep(fn(p))
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		peak := <-peakc
+		rep.Add(name, iters, elapsed, payload)
+		delta := int64(peak) - int64(base.HeapAlloc)
+		if delta < 0 {
+			delta = 0
+		}
+		rep.Config["peak_heap_bytes_"+name] = delta
+	}
+
+	measure("monolithic_compress_writefile", cfg.Workers, func(p *core.Prepared) error {
+		c, err := p.Compress()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, c.Blob, 0o644)
+	})
+	measure("streaming_compressto_file", cfg.Workers, func(p *core.Prepared) error {
+		out, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		res, err := p.CompressTo(out)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		rep.Config["working_set_bytes_streaming"] = res.MaxBufferedBytes
+		return out.Close()
+	})
+	measure("streaming_compressto_file_serial", 1, func(p *core.Prepared) error {
+		out, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		res, err := p.CompressTo(out)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		rep.Config["working_set_bytes_streaming_serial"] = res.MaxBufferedBytes
+		return out.Close()
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return rep, nil
+}
+
+// WriteWriteTSV prints a write-path report in the package's tab-separated
+// style, working-set numbers included.
+func WriteWriteTSV(w io.Writer, rep *benchfmt.Report) {
+	printHeader(w, fmt.Sprintf("Streaming vs monolithic container write: %v³ nyx, %v-byte container",
+		rep.Config["size"], rep.Config["container_bytes"]),
+		"op", "ns/op", "MB/s", "working set B", "peak heap B")
+	ws := func(name string) any {
+		switch name {
+		case "monolithic_compress_writefile":
+			return rep.Config["working_set_bytes_monolithic"]
+		case "streaming_compressto_file":
+			return rep.Config["working_set_bytes_streaming"]
+		case "streaming_compressto_file_serial":
+			return rep.Config["working_set_bytes_streaming_serial"]
+		}
+		return ""
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%v\t%v\n",
+			r.Name, r.NsPerOp, r.MBPerS, ws(r.Name), rep.Config["peak_heap_bytes_"+r.Name])
+	}
+}
+
+func init() {
+	register("write", "Streaming write path: CompressTo (wave-bounded) vs monolithic Compress+WriteFile",
+		func(w io.Writer, cfg Config) error {
+			rep, err := WriteBench(cfg)
+			if err != nil {
+				return err
+			}
+			WriteWriteTSV(w, rep)
+			return nil
+		})
+	registerJSON("write", WriteBench, WriteWriteTSV)
+}

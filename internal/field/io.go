@@ -3,11 +3,17 @@ package field
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 )
+
+// ErrTooLarge reports a field whose header-implied size exceeds the limit
+// given to ReadFromLimit (distinguishable from malformed data, e.g. for an
+// HTTP 413).
+var ErrTooLarge = errors.New("field too large")
 
 // Binary container for raw fields: a 24-byte header (three little-endian
 // int64 dimensions) followed by Nx*Ny*Nz little-endian float64 samples.
@@ -41,6 +47,15 @@ func (f *Field) WriteTo(w io.Writer) (int64, error) {
 
 // ReadFrom deserializes a field written by WriteTo.
 func ReadFrom(r io.Reader) (*Field, error) {
+	return ReadFromLimit(r, 0)
+}
+
+// ReadFromLimit is ReadFrom with a cap on the serialized size: a header
+// whose dimensions imply more than maxBytes on the wire is rejected
+// *before* the field is allocated, so an untrusted header cannot drive a
+// huge allocation from a tiny payload. maxBytes <= 0 applies only the
+// package sanity cap.
+func ReadFromLimit(r io.Reader, maxBytes int64) (*Field, error) {
 	br := bufio.NewReader(r)
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -52,6 +67,10 @@ func ReadFrom(r io.Reader) (*Field, error) {
 	const maxSamples = 1 << 33 // 64 GiB of float64, sanity cap
 	if nx <= 0 || ny <= 0 || nz <= 0 || int64(nx)*int64(ny)*int64(nz) > maxSamples {
 		return nil, fmt.Errorf("field: invalid dimensions %dx%dx%d", nx, ny, nz)
+	}
+	if n := int64(nx) * int64(ny) * int64(nz); maxBytes > 0 && headerSize+8*n > maxBytes {
+		return nil, fmt.Errorf("field: %dx%dx%d needs %d bytes, over the %d-byte limit: %w",
+			nx, ny, nz, headerSize+8*n, maxBytes, ErrTooLarge)
 	}
 	f := New(nx, ny, nz)
 	var buf [8]byte

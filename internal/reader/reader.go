@@ -176,6 +176,12 @@ type FileReader struct {
 // Close releases the underlying file.
 func (fr *FileReader) Close() error { return fr.f.Close() }
 
+// Stat fstats the open file — the inode this reader actually serves, not
+// whatever currently sits at its path. Callers revalidate a cached reader
+// by comparing this against a fresh os.Stat of the path: a mismatch means
+// the container was replaced underneath and the reader is stale.
+func (fr *FileReader) Stat() (os.FileInfo, error) { return fr.f.Stat() }
+
 // OpenFile opens a container file for random access.
 func OpenFile(path string, opts ...Option) (*FileReader, error) {
 	f, err := os.Open(path)

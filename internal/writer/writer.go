@@ -1,0 +1,57 @@
+// Package writer holds the durable-write plumbing under the streaming
+// container write path: atomic file replacement for compress-to-file and
+// server ingest, so a crash or a concurrent reader never observes a partial
+// container at a served path.
+package writer
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicFile streams fn's output into a hidden temporary file in path's
+// directory and renames it over path only after the data is flushed and
+// fsynced, so every observer of path sees either the old complete file or
+// the new complete file — never a partial write. The temporary lives in the
+// same directory (rename must not cross filesystems) and is removed on any
+// failure. The containing directory is fsynced after the rename on a
+// best-effort basis (not every platform or filesystem supports it).
+func AtomicFile(path string, perm os.FileMode, fn func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("writer: creating temporary: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = fn(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("writer: syncing %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("writer: chmod %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("writer: closing %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("writer: installing %s: %w", path, err)
+	}
+	// Persist the rename itself. Failure here does not un-install the file.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package writer
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicFileWritesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := AtomicFile(path, 0o644, func(w io.Writer) error {
+		_, err := w.Write([]byte("first"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content %q", got)
+	}
+	// Replace: readers of the old path keep their inode; the path flips.
+	old, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	if err := AtomicFile(path, 0o644, func(w io.Writer) error {
+		_, err := w.Write([]byte("second"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("after replace: %q", got)
+	}
+	oldContent, err := io.ReadAll(old)
+	if err != nil || string(oldContent) != "first" {
+		t.Fatalf("old handle read %q, %v", oldContent, err)
+	}
+}
+
+func TestAtomicFileFailureLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := AtomicFile(path, 0o644, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "keep" {
+		t.Fatalf("failed write clobbered the target: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temporary %s left behind", e.Name())
+		}
+	}
+}

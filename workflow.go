@@ -55,6 +55,15 @@
 // index) remain readable everywhere: the reader falls back to one
 // sequential scan, after which access is equally random. cmd/mrserve
 // serves a directory of containers over HTTP on top of this API.
+//
+// # Streaming writes
+//
+// The write path has the mirror-image discipline: CompressTo streams the
+// container to an io.Writer as compression waves complete (memory bounded
+// by one wave of compressed streams, not the container), and
+// CompressToFile installs it by atomic rename so concurrent readers never
+// observe a partial file. The bytes are identical to Result.Blob for the
+// same options. cmd/mrserve's PUT ingest endpoint builds on these.
 package repro
 
 import (
@@ -236,12 +245,12 @@ func CompressUniform(f *Field, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// CompressAMR runs the workflow on existing multi-resolution data.
-func CompressAMR(h *Hierarchy, opt Options) (*Result, error) {
-	eb := opt.EB
-	if opt.RelEB != 0 {
-		if opt.EB != 0 {
-			return nil, errors.New("repro: set exactly one of EB and RelEB")
+// resolveEB turns the EB/RelEB pair into the absolute bound for h.
+func (o Options) resolveEB(h *Hierarchy) (float64, error) {
+	eb := o.EB
+	if o.RelEB != 0 {
+		if o.EB != 0 {
+			return 0, errors.New("repro: set exactly one of EB and RelEB")
 		}
 		rng := 0.0
 		for li := range h.Levels {
@@ -249,10 +258,19 @@ func CompressAMR(h *Hierarchy, opt Options) (*Result, error) {
 				rng = r
 			}
 		}
-		eb = opt.RelEB * rng
+		eb = o.RelEB * rng
 	}
 	if eb <= 0 {
-		return nil, errors.New("repro: error bound must be positive")
+		return 0, errors.New("repro: error bound must be positive")
+	}
+	return eb, nil
+}
+
+// CompressAMR runs the workflow on existing multi-resolution data.
+func CompressAMR(h *Hierarchy, opt Options) (*Result, error) {
+	eb, err := opt.resolveEB(h)
+	if err != nil {
+		return nil, err
 	}
 	co, err := opt.coreOptions(eb)
 	if err != nil {
