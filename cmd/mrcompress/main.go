@@ -8,7 +8,13 @@
 // reader ever sees a partial file:
 //
 //	mrcompress -c -i field.bin -o field.mrw -releb 1e-3 [-compressor sz3]
-//	           [-roiblock 16] [-roifrac 0.5] [-workers N]
+//	           [-levelcodecs "0:sz3,2:flate"] [-roiblock 16] [-roifrac 0.5]
+//	           [-workers N]
+//
+// The -compressor name must be registered in the codec registry
+// (internal/codec); -levelcodecs overrides the codec per resolution level
+// (0 = finest), e.g. coarse preview levels lossless while fine levels stay
+// error-bounded.
 //
 // With -quality (or -post, which needs the full round trip anyway) the
 // in-memory path runs instead and PSNR/SSIM against the input are printed:
@@ -35,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/field"
@@ -50,7 +57,8 @@ func main() {
 		out     = flag.String("o", "", "output file")
 		releb   = flag.Float64("releb", 1e-3, "relative error bound (fraction of value range)")
 		abseb   = flag.Float64("eb", 0, "absolute error bound (overrides -releb)")
-		backend = flag.String("compressor", "sz3", "backend: sz3|sz2|zfp")
+		backend = flag.String("compressor", "sz3", "backend codec: "+strings.Join(repro.Codecs(), "|"))
+		lvlspec = flag.String("levelcodecs", "", `per-level codec overrides, e.g. "0:sz3,2:flate" (level 0 = finest)`)
 		roiB    = flag.Int("roiblock", 16, "ROI block size (power of two > 4)")
 		roiFrac = flag.Float64("roifrac", 0.5, "fraction of blocks kept at full resolution")
 		post    = flag.Bool("post", false, "enable error-bounded post-processing")
@@ -75,12 +83,23 @@ func main() {
 	case *comp:
 		requireIn(*in)
 		requireOut(*out)
+		// Validate codec names up front through the registry, before the
+		// (possibly large) input is loaded.
+		cname, err := repro.ParseCodec(*backend)
+		if err != nil {
+			fatal(err)
+		}
+		lvlCodecs, err := repro.ParseLevelCodecs(*lvlspec)
+		if err != nil {
+			fatal(err)
+		}
 		f, err := field.Load(*in)
 		if err != nil {
 			fatal(err)
 		}
 		opt := repro.Options{
-			Compressor:  repro.Compressor(*backend),
+			Compressor:  cname,
+			LevelCodecs: lvlCodecs,
 			ROIBlockB:   *roiB,
 			ROITopFrac:  *roiFrac,
 			PostProcess: *post,

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/synth"
+)
+
+// codecTestServer builds an empty serving directory.
+func codecTestServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	s, err := newServer(t.TempDir(), 64<<20, 1<<30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() { ts.Close(); s.close() })
+	return ts, s
+}
+
+// metaLevels fetches /meta and returns the container codec plus the
+// per-level codec names.
+func metaLevels(t *testing.T, url, id string) (string, []string) {
+	t.Helper()
+	code, body, _ := get(t, url+"/v1/field/"+id+"/meta")
+	if code != http.StatusOK {
+		t.Fatalf("meta: %d %s", code, body)
+	}
+	var meta struct {
+		Compressor string `json:"compressor"`
+		Levels     []struct {
+			Codec string `json:"codec"`
+		} `json:"levels"`
+	}
+	if err := json.Unmarshal(body, &meta); err != nil {
+		t.Fatal(err)
+	}
+	codecs := make([]string, len(meta.Levels))
+	for i, l := range meta.Levels {
+		codecs[i] = l.Codec
+	}
+	return meta.Compressor, codecs
+}
+
+// TestIngestUnknownCodec400 locks the registry-driven validation: an
+// unknown codec name — under either parameter spelling, or inside a
+// levelcodecs spec — fails with a 400 whose body enumerates every
+// registered codec, so the client learns the vocabulary from the error.
+func TestIngestUnknownCodec400(t *testing.T) {
+	ts, _ := codecTestServer(t)
+	f := synth.Generate(synth.Nyx, 16, 5)
+	for _, q := range []string{"codec=lzma", "compressor=lzma", "levelcodecs=0:lzma"} {
+		code, body := doPut(t, ts.URL+"/v1/field/x?"+q, rawFieldBody(t, f))
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, code)
+		}
+		for _, name := range repro.Codecs() {
+			if !strings.Contains(string(body), name) {
+				t.Fatalf("%s: 400 body does not enumerate %q: %s", q, name, body)
+			}
+		}
+	}
+	// Malformed level specs are rejected too.
+	for _, q := range []string{"levelcodecs=flate", "levelcodecs=-1:flate", "levelcodecs=0:flate,0:sz3"} {
+		if code, body := doPut(t, ts.URL+"/v1/field/x?"+q, rawFieldBody(t, f)); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", q, code, body)
+		}
+	}
+}
+
+// ingestExpectedLevels runs the ingest pipeline locally with the given
+// options and returns the per-level reconstructions the server should
+// serve.
+func ingestExpectedLevels(t *testing.T, f *field.Field, opt repro.Options) []*field.Field {
+	t.Helper()
+	res, err := repro.CompressUniform(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := core.Decompress(res.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*field.Field, len(h.Levels))
+	for li := range h.Levels {
+		out[li] = h.Levels[li].Data
+	}
+	return out
+}
+
+// TestIngestFlateCodec uploads a field under the lossless codec and checks
+// the served container: meta reports FLATE everywhere and every level
+// reads back exactly as the local pipeline produces it.
+func TestIngestFlateCodec(t *testing.T) {
+	ts, _ := codecTestServer(t)
+	f := synth.Generate(synth.Nyx, 32, 6)
+	if code, body := doPut(t, ts.URL+"/v1/field/mask?codec=flate", rawFieldBody(t, f)); code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", code, body)
+	}
+	comp, codecs := metaLevels(t, ts.URL, "mask")
+	if comp != "FLATE" {
+		t.Fatalf("meta compressor = %q, want FLATE", comp)
+	}
+	want := ingestExpectedLevels(t, f, repro.Options{RelEB: 1e-3, Compressor: repro.Flate})
+	for li, lc := range codecs {
+		if lc != "FLATE" {
+			t.Fatalf("level %d codec = %q, want FLATE", li, lc)
+		}
+		code, body, _ := get(t, fmt.Sprintf("%s/v1/field/mask/level/%d", ts.URL, li))
+		if code != http.StatusOK {
+			t.Fatalf("level %d: %d", li, code)
+		}
+		if got := parseRawField(t, body); !got.Equal(want[li]) {
+			t.Fatalf("level %d served data differs from local pipeline", li)
+		}
+	}
+}
+
+// TestIngestMixedLevelCodecs uploads with a per-level override — fine
+// level error-bounded, coarse level lossless — and checks the mixed (v4)
+// container serves both levels correctly with per-level codecs visible in
+// meta.
+func TestIngestMixedLevelCodecs(t *testing.T) {
+	ts, _ := codecTestServer(t)
+	f := synth.Generate(synth.Nyx, 32, 7)
+	if code, body := doPut(t, ts.URL+"/v1/field/mix?levelcodecs=1:flate", rawFieldBody(t, f)); code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", code, body)
+	}
+	comp, codecs := metaLevels(t, ts.URL, "mix")
+	if comp != "SZ3" {
+		t.Fatalf("meta compressor = %q, want SZ3", comp)
+	}
+	if len(codecs) != 2 || codecs[0] != "SZ3" || codecs[1] != "FLATE" {
+		t.Fatalf("level codecs = %v, want [SZ3 FLATE]", codecs)
+	}
+	want := ingestExpectedLevels(t, f, repro.Options{
+		RelEB:       1e-3,
+		LevelCodecs: map[int]repro.Compressor{1: repro.Flate},
+	})
+	for li := range want {
+		code, body, _ := get(t, fmt.Sprintf("%s/v1/field/mix/level/%d", ts.URL, li))
+		if code != http.StatusOK {
+			t.Fatalf("level %d: %d", li, code)
+		}
+		if got := parseRawField(t, body); !got.Equal(want[li]) {
+			t.Fatalf("level %d served data differs from local pipeline", li)
+		}
+	}
+}

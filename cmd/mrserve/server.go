@@ -18,6 +18,7 @@ import (
 
 	"repro"
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/reader"
 )
@@ -374,15 +375,16 @@ func (s *server) handleFields(w http.ResponseWriter, r *http.Request) {
 
 // levelMeta is one level's entry of GET /v1/field/{id}/meta.
 type levelMeta struct {
-	Level           int   `json:"level"`
-	Nx              int   `json:"nx"`
-	Ny              int   `json:"ny"`
-	Nz              int   `json:"nz"`
-	UnitBlock       int   `json:"unit_block"`
-	Blocks          int   `json:"blocks"`
-	Streams         int   `json:"streams"`
-	CompressedBytes int64 `json:"compressed_bytes"`
-	RawBytes        int64 `json:"raw_bytes"`
+	Level           int    `json:"level"`
+	Nx              int    `json:"nx"`
+	Ny              int    `json:"ny"`
+	Nz              int    `json:"nz"`
+	UnitBlock       int    `json:"unit_block"`
+	Blocks          int    `json:"blocks"`
+	Streams         int    `json:"streams"`
+	Codec           string `json:"codec,omitempty"`
+	CompressedBytes int64  `json:"compressed_bytes"`
+	RawBytes        int64  `json:"raw_bytes"`
 }
 
 func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
@@ -406,6 +408,12 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, si := range ix.Levels[l].Streams {
 			lm.RawBytes += ix.Streams[si].RawLen
+		}
+		// The level's codec, from its streams' per-stream compressor bytes
+		// (mixed-codec containers differ per level; within a level all
+		// streams share one codec).
+		if streams := ix.Levels[l].Streams; len(streams) > 0 {
+			lm.Codec = core.Compressor(ix.Streams[streams[0]].Compressor).String()
 		}
 		levels = append(levels, lm)
 	}
@@ -503,7 +511,10 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 // --- ingest -----------------------------------------------------------------
 
 // ingestOptions maps PUT query parameters onto compression options. The
-// defaults are the paper's recommended configuration at releb 1e-3.
+// defaults are the paper's recommended configuration at releb 1e-3. Codec
+// names (?codec=, its legacy alias ?compressor=, and the per-level
+// ?levelcodecs= spec) are validated against the codec registry, so an
+// unknown name fails with a message enumerating what is registered.
 func ingestOptions(q url.Values) (repro.Options, error) {
 	opt := repro.Options{RelEB: 1e-3, ROIBlockB: 16, ROITopFrac: 0.5}
 	if v := q.Get("releb"); v != "" {
@@ -520,11 +531,23 @@ func ingestOptions(q url.Values) (repro.Options, error) {
 		}
 		opt.EB, opt.RelEB = f, 0
 	}
-	switch c := repro.Compressor(q.Get("compressor")); c {
-	case "", repro.SZ3, repro.SZ2, repro.ZFP:
+	name := q.Get("codec")
+	if name == "" {
+		name = q.Get("compressor")
+	}
+	if name != "" {
+		c, err := repro.ParseCodec(name)
+		if err != nil {
+			return opt, err
+		}
 		opt.Compressor = c
-	default:
-		return opt, fmt.Errorf("unknown compressor %q", c)
+	}
+	if v := q.Get("levelcodecs"); v != "" {
+		m, err := repro.ParseLevelCodecs(v)
+		if err != nil {
+			return opt, err
+		}
+		opt.LevelCodecs = m
 	}
 	if v := q.Get("roiblock"); v != "" {
 		n, err := strconv.Atoi(v)

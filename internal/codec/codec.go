@@ -1,0 +1,156 @@
+// Package codec is the backend-compressor seam of the container pipeline:
+// every behavior that used to be a per-backend switch in core, the reader,
+// or the servers — compress, decompress, post-processing block size and
+// intensity candidates, name/flag/query parsing — is a method on the Codec
+// interface, dispatched through a registry keyed by wire ID (the byte
+// containers and index footers store) and by name (what flags and query
+// parameters carry).
+//
+// The four built-in codecs register themselves at init: the three
+// error-bounded lossy backends of the paper (sz3, sz2, zfp — §III-B's
+// multi-backend design) plus a lossless raw+flate passthrough for fields
+// that must survive bit-exactly (masks, particle IDs). Adding a backend is
+// one file implementing Codec plus a Register call; core, the reader, and
+// the servers pick it up without modification.
+//
+// Wire IDs are a stable, append-only namespace: they appear in container
+// headers, per-stream codec bytes (format v4), and index footers, so an ID
+// must never be reused or renumbered.
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/field"
+)
+
+// Wire IDs of the built-in codecs. These match the historical
+// core.Compressor byte values, so every container ever written remains
+// decodable through the registry.
+const (
+	SZ3ID   byte = 0 // global interpolation (default)
+	SZ2ID   byte = 1 // block-wise Lorenzo/regression
+	ZFPID   byte = 2 // block-wise transform
+	FlateID byte = 3 // lossless raw+flate passthrough
+)
+
+// Params carries the compression-time knobs a codec may consume. It is the
+// union of all backends' options; each codec reads only its own fields and
+// ignores the rest (sz2 never sees Interp, flate ignores everything).
+type Params struct {
+	// EB is the absolute error bound (> 0 for the lossy codecs; ignored by
+	// lossless ones).
+	EB float64
+	// AdaptiveEB enables the per-interpolation-level bound
+	// eb_l = eb / min(α^(L−l), β) (sz3 only).
+	AdaptiveEB bool
+	// Alpha and Beta parameterize AdaptiveEB.
+	Alpha, Beta float64
+	// SZ2BlockSize overrides sz2's block edge (0 = the backend default).
+	SZ2BlockSize int
+	// Interp selects the sz3 interpolant, as its wire byte.
+	Interp byte
+}
+
+// Codec is one compression backend behind the container pipeline.
+// Implementations must be safe for concurrent use: the pipeline calls
+// Compress and Decompress from many worker goroutines at once.
+type Codec interface {
+	// Name is the codec's stable lowercase name ("sz3"), used by CLI flags
+	// and HTTP query parameters.
+	Name() string
+	// WireID is the byte stored in container headers, per-stream codec
+	// bytes, and index footers. Stable forever.
+	WireID() byte
+	// Lossless reports whether Decompress(Compress(f)) == f bit-exactly.
+	// Lossless codecs are skipped by error-bounded post-processing and by
+	// intensity sampling.
+	Lossless() bool
+	// Compress encodes one field under p. The output must be
+	// self-describing: Decompress needs no side information.
+	Compress(f *field.Field, p Params) ([]byte, error)
+	// Decompress decodes a payload produced by Compress.
+	Decompress(data []byte) (*field.Field, error)
+	// PostBlockSize is the block edge whose boundaries the error-bounded
+	// post-processor should smooth for this backend, given the pipeline's
+	// unit block size at the level being processed (§III-B: the partition
+	// size for multi-resolution data vs the backend's own block size).
+	// Zero means the codec produces no block artifacts to smooth.
+	PostBlockSize(p Params, unitSize int) int
+	// PostCandidates is the paper's intensity candidate set for this
+	// backend's artifact profile (nil when post-processing never applies).
+	PostCandidates() []float64
+	// PadAndAdaptiveEB reports whether the workflow should default the
+	// paper's SZ3MR improvements — XY padding of linear merges and the
+	// per-interpolation-level error bound — on for this codec. True only
+	// for interpolation-based backends; block-wise and lossless codecs
+	// ignore both.
+	PadAndAdaptiveEB() bool
+}
+
+var (
+	byID   = map[byte]Codec{}
+	byName = map[string]Codec{}
+)
+
+// Register adds a codec to the registry. It panics on a duplicate wire ID
+// or name — codec identity clashes are programming errors, caught at init.
+func Register(c Codec) {
+	id, name := c.WireID(), c.Name()
+	if name == "" || name != strings.ToLower(name) {
+		panic(fmt.Sprintf("codec: invalid name %q", name))
+	}
+	if prev, ok := byID[id]; ok {
+		panic(fmt.Sprintf("codec: wire ID %d already registered to %q", id, prev.Name()))
+	}
+	if _, ok := byName[name]; ok {
+		panic(fmt.Sprintf("codec: name %q already registered", name))
+	}
+	byID[id] = c
+	byName[name] = c
+}
+
+// ByID looks a codec up by its wire ID.
+func ByID(id byte) (Codec, bool) {
+	c, ok := byID[id]
+	return c, ok
+}
+
+// ByName looks a codec up by name (case-insensitive).
+func ByName(name string) (Codec, bool) {
+	c, ok := byName[strings.ToLower(name)]
+	return c, ok
+}
+
+// Names returns the registered codec names, sorted — the vocabulary CLI
+// flags and query parameters accept, and what error messages enumerate.
+func Names() []string {
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered codec, sorted by name.
+func All() []Codec {
+	out := make([]Codec, 0, len(byName))
+	for _, n := range Names() {
+		out = append(out, byName[n])
+	}
+	return out
+}
+
+// ErrUnknownID formats the standard unknown-wire-ID error, enumerating the
+// registered codecs so the message is actionable.
+func ErrUnknownID(id byte) error {
+	return fmt.Errorf("codec: unknown codec ID %d (registered: %s)", id, strings.Join(Names(), ", "))
+}
+
+// ErrUnknownName formats the standard unknown-name error.
+func ErrUnknownName(name string) error {
+	return fmt.Errorf("codec: unknown codec %q (registered: %s)", name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,59 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// FuzzDecodeStream hammers every registered codec's payload parser with a
+// fuzzed wire ID + payload — the exact bytes a hostile container or index
+// footer could hand the per-stream decode path. The contract mirrors the
+// container header scan's: reject or accept, never panic, and anything
+// accepted must be an internally consistent field. It complements
+// internal/index's FuzzContainerIndex, which covers the footer locating
+// the streams; this covers decoding them.
+func FuzzDecodeStream(f *testing.F) {
+	// Seed with each codec's valid output over two small fields plus
+	// truncations and raw garbage, so the fuzzer starts inside every
+	// backend's header grammar.
+	fields := []struct {
+		size int
+		seed int64
+	}{{8, 1}, {12, 2}}
+	for _, fs := range fields {
+		src := synth.Generate(synth.Nyx, fs.size, fs.seed)
+		eb := src.ValueRange() * 1e-3
+		for _, c := range All() {
+			blob, err := c.Compress(src, Params{EB: eb})
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(c.WireID(), blob)
+			f.Add(c.WireID(), blob[:len(blob)/2])
+			for _, other := range All() {
+				f.Add(other.WireID(), blob) // payload under the wrong codec
+			}
+		}
+	}
+	f.Add(byte(0), []byte{})
+	f.Add(byte(200), []byte("MRWF garbage"))
+
+	f.Fuzz(func(t *testing.T, id byte, payload []byte) {
+		c, ok := ByID(id)
+		if !ok {
+			return // unregistered IDs are rejected before decode dispatch
+		}
+		g, err := c.Decompress(payload)
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatalf("%s: nil field with nil error", c.Name())
+		}
+		if g.Nx <= 0 || g.Ny <= 0 || g.Nz <= 0 || len(g.Data) != g.Nx*g.Ny*g.Nz {
+			t.Fatalf("%s: inconsistent decoded field %dx%dx%d with %d samples",
+				c.Name(), g.Nx, g.Ny, g.Nz, len(g.Data))
+		}
+	})
+}

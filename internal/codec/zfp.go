@@ -1,0 +1,34 @@
+package codec
+
+import (
+	"repro/internal/field"
+	"repro/internal/postproc"
+	"repro/internal/zfp"
+)
+
+func init() { Register(zfpCodec{}) }
+
+// zfpCodec adapts the block-wise transform backend.
+type zfpCodec struct{}
+
+func (zfpCodec) Name() string   { return "zfp" }
+func (zfpCodec) WireID() byte   { return ZFPID }
+func (zfpCodec) Lossless() bool { return false }
+
+func (zfpCodec) Compress(f *field.Field, p Params) ([]byte, error) {
+	return zfp.Compress(f, zfp.Options{Tolerance: p.EB})
+}
+
+func (zfpCodec) Decompress(data []byte) (*field.Field, error) {
+	return zfp.Decompress(data)
+}
+
+// PostBlockSize is zfp's fixed 4³ transform block.
+func (zfpCodec) PostBlockSize(p Params, unitSize int) int { return zfp.BlockSize }
+
+// PostCandidates exploits zfp's underestimation characteristic (§III-B):
+// the achieved error sits well below the tolerance, so stronger smoothing
+// candidates stay within the bound.
+func (zfpCodec) PostCandidates() []float64 { return postproc.ZFPCandidates() }
+
+func (zfpCodec) PadAndAdaptiveEB() bool { return false }

@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/field"
 	"repro/internal/grid"
 	"repro/internal/index"
@@ -31,40 +33,45 @@ import (
 	"repro/internal/postproc"
 	"repro/internal/sz2"
 	"repro/internal/sz3"
-	"repro/internal/zfp"
 )
 
-// containerVersion is the current container format version. Version 2
-// widened SZ2BlockSize from a single (silently truncating) byte to a
-// uvarint; version 3 appends a self-describing block-index footer
-// (internal/index) after the last stream for random access. The v3 body is
-// byte-identical to a v2 body, the sequential decoder never reads the
-// footer, and version-1/2 containers remain readable.
-const containerVersion = 3
+// Container format versions. Version 2 widened SZ2BlockSize from a single
+// (silently truncating) byte to a uvarint; version 3 appends a
+// self-describing block-index footer (internal/index) after the last
+// stream for random access (the v3 body is byte-identical to a v2 body,
+// the sequential decoder never reads the footer, and version-1/2
+// containers remain readable); version 4 adds one codec wire-ID byte per
+// stream so levels may use different codecs (Options.LevelCodecs).
+// Containers whose levels all share the header codec are still written as
+// version 3, byte-identical to before — version 4 appears on the wire only
+// when a level actually overrides the codec.
+const (
+	containerVersion      = 3
+	containerVersionMixed = 4
+)
 
 // maxSZ2BlockSize bounds the v2 SZ2BlockSize field on both write and read:
 // large enough for any real block size, small enough that a corrupt uvarint
 // can neither wrap int nor smuggle an absurd value past the header scan.
 const maxSZ2BlockSize = 1 << 30
 
-// Compressor selects the backend lossy compressor.
+// Compressor selects a backend codec by its wire ID (see internal/codec;
+// the constants below alias the registry's built-in IDs). Any registered
+// codec ID is valid here — the pipeline dispatches through the registry,
+// never through per-backend switches.
 type Compressor byte
 
-// Backend compressors.
+// Built-in backend codecs.
 const (
-	SZ3 Compressor = iota // global interpolation (default)
-	SZ2                   // block-wise Lorenzo/regression
-	ZFP                   // block-wise transform
+	SZ3   = Compressor(codec.SZ3ID)   // global interpolation (default)
+	SZ2   = Compressor(codec.SZ2ID)   // block-wise Lorenzo/regression
+	ZFP   = Compressor(codec.ZFPID)   // block-wise transform
+	Flate = Compressor(codec.FlateID) // lossless raw+flate passthrough
 )
 
 func (c Compressor) String() string {
-	switch c {
-	case SZ3:
-		return "SZ3"
-	case SZ2:
-		return "SZ2"
-	case ZFP:
-		return "ZFP"
+	if cd, ok := codec.ByID(byte(c)); ok {
+		return strings.ToUpper(cd.Name())
 	}
 	return fmt.Sprintf("Compressor(%d)", byte(c))
 }
@@ -130,6 +137,35 @@ type Options struct {
 	// TAC box. Default runtime.GOMAXPROCS(0); 1 gives fully serial
 	// execution. The container bytes are identical for every Workers value.
 	Workers int
+	// LevelCodecs overrides the codec per resolution level (key = level,
+	// 0 = finest); levels not named use Compressor. The canonical use is
+	// mixing precision across the hierarchy — coarse levels lossless
+	// (Flate), fine levels error-bounded — or keeping mask/ID fields
+	// bit-exact. A container with at least one effective override is
+	// written as format version 4 (one codec wire-ID byte per stream);
+	// without overrides the bytes are identical to version 3.
+	LevelCodecs map[int]Compressor
+}
+
+// codecFor returns the codec compressing (and decompressing) a level's
+// streams: the per-level override when present, else the container codec.
+func (o *Options) codecFor(level int) Compressor {
+	if c, ok := o.LevelCodecs[level]; ok {
+		return c
+	}
+	return o.Compressor
+}
+
+// params flattens the options into the codec-facing parameter set.
+func (o Options) params() codec.Params {
+	return codec.Params{
+		EB:           o.EB,
+		AdaptiveEB:   o.AdaptiveEB,
+		Alpha:        o.Alpha,
+		Beta:         o.Beta,
+		SZ2BlockSize: o.SZ2BlockSize,
+		Interp:       byte(o.Interp),
+	}
 }
 
 func (o *Options) withDefaults() Options {
@@ -245,35 +281,22 @@ func Prepare(h *grid.Hierarchy, opt Options) (*Prepared, error) {
 	return p, nil
 }
 
-// compressField dispatches one buffer to the selected backend.
-func compressField(f *field.Field, opt Options) ([]byte, error) {
-	switch opt.Compressor {
-	case SZ3:
-		so := sz3.Options{EB: opt.EB, Interp: opt.Interp}
-		if opt.AdaptiveEB {
-			so.LevelEB = sz3.AdaptiveLevelEB(opt.EB, opt.Alpha, opt.Beta)
-		}
-		return sz3.Compress(f, so)
-	case SZ2:
-		return sz2.Compress(f, sz2.Options{EB: opt.EB, BlockSize: opt.SZ2BlockSize})
-	case ZFP:
-		return zfp.Compress(f, zfp.Options{Tolerance: opt.EB})
-	default:
-		return nil, fmt.Errorf("core: unknown compressor %d", opt.Compressor)
+// compressField dispatches one buffer to the codec named by c through the
+// registry.
+func compressField(f *field.Field, opt Options, c Compressor) ([]byte, error) {
+	cd, ok := codec.ByID(byte(c))
+	if !ok {
+		return nil, fmt.Errorf("core: %w", codec.ErrUnknownID(byte(c)))
 	}
+	return cd.Compress(f, opt.params())
 }
 
-func decompressField(data []byte, opt Options) (*field.Field, error) {
-	switch opt.Compressor {
-	case SZ3:
-		return sz3.Decompress(data)
-	case SZ2:
-		return sz2.Decompress(data)
-	case ZFP:
-		return zfp.Decompress(data)
-	default:
-		return nil, fmt.Errorf("core: unknown compressor %d", opt.Compressor)
+func decompressField(data []byte, c Compressor) (*field.Field, error) {
+	cd, ok := codec.ByID(byte(c))
+	if !ok {
+		return nil, fmt.Errorf("core: %w", codec.ErrUnknownID(byte(c)))
 	}
+	return cd.Decompress(data)
 }
 
 // Compressed is a serialized multi-resolution compression result.
@@ -288,9 +311,10 @@ type Compressed struct {
 func (c *Compressed) Size() int { return len(c.Blob) }
 
 // compressJob names one backend stream to produce: a level's merged field
-// (box < 0) or one TAC box.
+// (box < 0) or one TAC box, under the level's codec.
 type compressJob struct {
 	level, box int
+	codec      Compressor
 	f          *field.Field
 }
 
@@ -298,23 +322,24 @@ type compressJob struct {
 func (p *Prepared) jobs() []compressJob {
 	var jobs []compressJob
 	for li, pl := range p.levels {
+		c := p.opt.codecFor(li)
 		if p.opt.Arrangement == ArrangeTAC {
 			for bi, bf := range pl.boxFld {
-				jobs = append(jobs, compressJob{li, bi, bf})
+				jobs = append(jobs, compressJob{li, bi, c, bf})
 			}
 			continue
 		}
 		if pl.merged != nil {
-			jobs = append(jobs, compressJob{li, -1, pl.merged})
+			jobs = append(jobs, compressJob{li, -1, c, pl.merged})
 		}
 	}
 	return jobs
 }
 
-// compressStream dispatches one job to the backend with level/box error
+// compressStream dispatches one job to its codec with level/box error
 // context (shared by the monolithic and streaming write paths).
 func (p *Prepared) compressStream(j compressJob) ([]byte, error) {
-	s, err := compressField(j.f, p.opt)
+	s, err := compressField(j.f, p.opt, j.codec)
 	if err != nil {
 		if j.box >= 0 {
 			return nil, fmt.Errorf("core: level %d box %d: %w", j.level, j.box, err)
@@ -324,11 +349,37 @@ func (p *Prepared) compressStream(j compressJob) ([]byte, error) {
 	return s, nil
 }
 
+// wireVersion picks the container format version: 4 only when some level
+// that actually emits a stream overrides the codec, 3 (byte-identical to
+// every pre-registry container) otherwise.
+func (p *Prepared) wireVersion() byte {
+	for li, pl := range p.levels {
+		if pl.merged == nil && len(pl.boxFld) == 0 {
+			continue // empty level: no stream carries its codec
+		}
+		if p.opt.codecFor(li) != p.opt.Compressor {
+			return containerVersionMixed
+		}
+	}
+	return containerVersion
+}
+
 // checkCompressOptions validates the write-time option invariants shared by
 // Compress and CompressTo.
 func (p *Prepared) checkCompressOptions() error {
 	if p.opt.SZ2BlockSize < 0 || p.opt.SZ2BlockSize > maxSZ2BlockSize {
 		return fmt.Errorf("core: SZ2 block size %d out of range [0, %d]", p.opt.SZ2BlockSize, maxSZ2BlockSize)
+	}
+	if _, ok := codec.ByID(byte(p.opt.Compressor)); !ok {
+		return fmt.Errorf("core: %w", codec.ErrUnknownID(byte(p.opt.Compressor)))
+	}
+	for l, c := range p.opt.LevelCodecs {
+		if l < 0 || l >= len(p.levels) {
+			return fmt.Errorf("core: LevelCodecs names level %d, container has levels [0,%d)", l, len(p.levels))
+		}
+		if _, ok := codec.ByID(byte(c)); !ok {
+			return fmt.Errorf("core: level %d: %w", l, codec.ErrUnknownID(byte(c)))
+		}
 	}
 	return nil
 }
@@ -427,26 +478,24 @@ func DecompressWorkers(blob []byte, workers int) (*grid.Hierarchy, error) {
 }
 
 // PostBlockSize returns the block size whose boundaries the post-processor
-// should smooth for a given backend: the compressor block for SZ2/ZFP, or
-// the unit block size for the partitioned-SZ3 multi-resolution case (§III-B:
-// "the partition size for multi-resolution data is larger than the block
-// sizes used by SZ/ZFP — 16 vs 4").
+// should smooth for opt.Compressor: the codec's own block for block-wise
+// backends (SZ2/ZFP), the unit block size for the partitioned global case
+// (§III-B: "the partition size for multi-resolution data is larger than
+// the block sizes used by SZ/ZFP — 16 vs 4"), or 0 when the codec produces
+// no block artifacts (lossless passthrough).
 func PostBlockSize(opt Options, unitSize int) int {
-	switch opt.Compressor {
-	case SZ2:
-		return opt.SZ2BlockSize
-	case ZFP:
-		return 4
-	default:
+	cd, ok := codec.ByID(byte(opt.Compressor))
+	if !ok {
 		return unitSize
 	}
+	return cd.PostBlockSize(opt.params(), unitSize)
 }
 
 // PostCandidates returns the paper's intensity candidate set for the
-// container's backend.
+// backend (nil when post-processing never applies to it).
 func PostCandidates(c Compressor) []float64 {
-	if c == ZFP {
-		return postproc.ZFPCandidates()
+	if cd, ok := codec.ByID(byte(c)); ok {
+		return cd.PostCandidates()
 	}
 	return postproc.SZ2Candidates()
 }
@@ -456,11 +505,11 @@ func PostCandidates(c Compressor) []float64 {
 func (o Options) RoundTrip() postproc.RoundTrip {
 	opt := (&o).withDefaults()
 	return func(f *field.Field) (*field.Field, error) {
-		data, err := compressField(f, opt)
+		data, err := compressField(f, opt, opt.Compressor)
 		if err != nil {
 			return nil, err
 		}
-		return decompressField(data, opt)
+		return decompressField(data, opt.Compressor)
 	}
 }
 
@@ -469,9 +518,14 @@ func (o Options) RoundTrip() postproc.RoundTrip {
 // per-dimension post-processing intensity by stochastic descent over the
 // backend's candidate set. Levels without data get zero intensity.
 func (p *Prepared) FindIntensities() ([]postproc.Intensity, error) {
-	rt := p.opt.RoundTrip()
 	out := make([]postproc.Intensity, len(p.levels))
 	for li, pl := range p.levels {
+		// Sample under the codec that will actually compress this level.
+		lopt := p.opt
+		lopt.Compressor = p.opt.codecFor(li)
+		if cd, ok := codec.ByID(byte(lopt.Compressor)); ok && cd.Lossless() {
+			continue // bit-exact level: nothing to repair
+		}
 		var sample *field.Field
 		switch {
 		case pl.merged != nil:
@@ -482,9 +536,9 @@ func (p *Prepared) FindIntensities() ([]postproc.Intensity, error) {
 			continue
 		}
 		u := p.blockB >> li
-		bs := PostBlockSize(p.opt, u)
-		po := postproc.Options{EB: p.opt.EB, BlockSize: bs, Candidates: PostCandidates(p.opt.Compressor)}
-		set, err := postproc.CollectSamples(sample, rt, po)
+		bs := PostBlockSize(lopt, u)
+		po := postproc.Options{EB: lopt.EB, BlockSize: bs, Candidates: PostCandidates(lopt.Compressor)}
+		set, err := postproc.CollectSamples(sample, lopt.RoundTrip(), po)
 		if err != nil {
 			// A level too small to sample simply goes unprocessed.
 			continue
@@ -522,7 +576,13 @@ func DecompressProcessedWorkers(blob []byte, intens []postproc.Intensity, worker
 		if a == (postproc.Intensity{}) {
 			return f
 		}
+		// opt.Compressor is the stream's own codec here (decompressImpl
+		// rewrites it per stream); a codec without block artifacts — the
+		// lossless passthrough — reports block size 0 and is left alone.
 		bs := PostBlockSize(opt, unitSize)
+		if bs <= 0 {
+			return f
+		}
 		return postproc.Process(f, a, postproc.Options{EB: opt.EB, BlockSize: bs})
 	}
 	return decompressImpl(blob, hook, workers)
@@ -541,6 +601,9 @@ type decodedLevel struct {
 	// parallel to streams (used to synthesize an index for random access
 	// over containers without a footer).
 	offsets []int64
+	// codecs holds each stream's codec, parallel to streams: the per-stream
+	// wire ID for version-4 containers, the header codec otherwise.
+	codecs []Compressor
 }
 
 // container is the fully scanned (but not yet decoded) container.
@@ -560,7 +623,7 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 		return nil, nil, errors.New("core: bad magic")
 	}
 	version := blob[4]
-	if version < 1 || version > containerVersion {
+	if version < 1 || version > containerVersionMixed {
 		return nil, nil, fmt.Errorf("core: unsupported version %d", version)
 	}
 	buf := blob[5:]
@@ -653,6 +716,20 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 	}
 	nbx, nby, nbz := h.NumBlocks()
 
+	// readStreamCodec consumes the per-stream codec byte of a version-4
+	// container; older versions compress every stream with the header codec.
+	readStreamCodec := func() (Compressor, error) {
+		if version < containerVersionMixed {
+			return opt.Compressor, nil
+		}
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		sc := Compressor(buf[0])
+		buf = buf[1:]
+		return sc, nil
+	}
+
 	for li := 0; li < nLevels; li++ {
 		var dl decodedLevel
 		nBlocks64, err := readU()
@@ -707,11 +784,16 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 				if err != nil {
 					return nil, nil, err
 				}
+				sc, err := readStreamCodec()
+				if err != nil {
+					return nil, nil, err
+				}
 				if uint64(len(buf)) < slen {
 					return nil, nil, errors.New("core: truncated box stream")
 				}
 				dl.offsets = append(dl.offsets, int64(len(blob)-len(buf)))
 				dl.streams = append(dl.streams, buf[:slen])
+				dl.codecs = append(dl.codecs, sc)
 				buf = buf[slen:]
 			}
 			c.levels = append(c.levels, dl)
@@ -723,11 +805,16 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 			return nil, nil, err
 		}
 		if slen != 0 {
+			sc, err := readStreamCodec()
+			if err != nil {
+				return nil, nil, err
+			}
 			if uint64(len(buf)) < slen {
 				return nil, nil, errors.New("core: truncated level stream")
 			}
 			dl.offsets = append(dl.offsets, int64(len(blob)-len(buf)))
 			dl.streams = append(dl.streams, buf[:slen])
+			dl.codecs = append(dl.codecs, sc)
 			buf = buf[slen:]
 		}
 		c.levels = append(c.levels, dl)
@@ -736,10 +823,11 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 }
 
 // DecodeStream decodes one backend stream (as located by a container
-// index) with the container's options. It is the per-stream decode seam the
-// random-access reader builds on.
+// index) with opt.Compressor. It is the per-stream decode seam the
+// random-access reader builds on; for mixed-codec containers the caller
+// sets opt.Compressor to the stream's own codec (index.Stream.Compressor).
 func DecodeStream(stream []byte, opt Options) (*field.Field, error) {
-	return decompressField(stream, opt)
+	return decompressField(stream, opt.Compressor)
 }
 
 // BuildIndex scans a full in-memory container and synthesizes the block
@@ -763,7 +851,7 @@ func BuildIndex(blob []byte) (*index.Index, error) {
 		ixl := index.Level{Blocks: dl.blocks, Padded: dl.padded}
 		for si, s := range dl.streams {
 			st := index.Stream{
-				Level: li, Box: -1, Compressor: byte(c.opt.Compressor),
+				Level: li, Box: -1, Compressor: byte(dl.codecs[si]),
 				Offset: dl.offsets[si], Len: int64(len(s)),
 			}
 			if c.opt.Arrangement == ArrangeTAC {
@@ -824,6 +912,7 @@ func decompressImpl(blob []byte, post postHook, workers int) (*grid.Hierarchy, e
 	// shared hierarchy, and its cost is dwarfed by backend decoding.
 	type decodeJob struct {
 		level, box int
+		codec      Compressor
 		stream     []byte
 	}
 	var jobs []decodeJob
@@ -831,19 +920,19 @@ func decompressImpl(blob []byte, post postHook, workers int) (*grid.Hierarchy, e
 		dl := &c.levels[li]
 		if opt.Arrangement == ArrangeTAC {
 			for bi := range dl.streams {
-				jobs = append(jobs, decodeJob{li, bi, dl.streams[bi]})
+				jobs = append(jobs, decodeJob{li, bi, dl.codecs[bi], dl.streams[bi]})
 			}
 			continue
 		}
 		if len(dl.streams) == 1 {
-			jobs = append(jobs, decodeJob{li, -1, dl.streams[0]})
+			jobs = append(jobs, decodeJob{li, -1, dl.codecs[0], dl.streams[0]})
 		}
 	}
 	for start := 0; start < len(jobs); start += workers {
 		end := min(start+workers, len(jobs))
 		wave, err := parallel.MapErrWorkers(end-start, workers, func(i int) (*field.Field, error) {
 			j := jobs[start+i]
-			f, err := decompressField(j.stream, opt)
+			f, err := decompressField(j.stream, j.codec)
 			if err != nil {
 				if j.box >= 0 {
 					return nil, fmt.Errorf("core: level %d box %d: %w", j.level, j.box, err)
@@ -854,7 +943,12 @@ func decompressImpl(blob []byte, post postHook, workers int) (*grid.Hierarchy, e
 				f = layout.UnpadXY(f)
 			}
 			if post != nil {
-				f = post(j.level, h.UnitBlockSize(j.level), opt, f)
+				// The hook sees the stream's own codec, so mixed-codec
+				// containers post-process each level under the backend that
+				// actually produced it.
+				jopt := opt
+				jopt.Compressor = j.codec
+				f = post(j.level, h.UnitBlockSize(j.level), jopt, f)
 			}
 			return f, nil
 		})

@@ -26,32 +26,93 @@ func goldenHierarchy(t *testing.T) (*grid.Hierarchy, float64) {
 	return h, f.ValueRange() * 1e-3
 }
 
-// TestGoldenContainer locks the full v3 container format — header layout,
-// every per-stream SZ payload, and the index footer — byte-for-byte.
+// goldenCases are the committed container fixtures: one per backend
+// (locking each codec's container path byte-for-byte across refactors)
+// plus a mixed-codec container exercising the per-level override format.
+var goldenCases = []struct {
+	name string
+	file string
+	opts func(eb float64) Options
+}{
+	{"tac-sz3", "golden-tac-sz3-v3.mrw", TACSZ3Options},
+	{"linear-sz2", "golden-linear-sz2-v3.mrw", AMRICSZ2Options},
+	{"linear-zfp", "golden-linear-zfp-v3.mrw", MRZFPOptions},
+	// Fine level error-bounded sz3, coarse level lossless flate: the
+	// canonical mixed-precision configuration, written as format v4.
+	{"mixed-sz3-flate", "golden-mixed-sz3-flate-v4.mrw", func(eb float64) Options {
+		o := SZ3MROptions(eb)
+		o.LevelCodecs = map[int]Compressor{1: Flate}
+		return o
+	}},
+}
+
+// TestGoldenContainer locks the full container formats — header layout,
+// every per-stream backend payload, per-stream codec bytes (v4), and the
+// index footer — byte-for-byte for every committed fixture.
 func TestGoldenContainer(t *testing.T) {
 	h, eb := goldenHierarchy(t)
-	c, err := CompressHierarchy(h, TACSZ3Options(eb))
-	if err != nil {
-		t.Fatal(err)
+	for _, gc := range goldenCases {
+		t.Run(gc.name, func(t *testing.T) {
+			c, err := CompressHierarchy(h, gc.opts(eb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", gc.file)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, c.Blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read fixture (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(c.Blob, want) {
+				t.Fatalf("container diverged from golden fixture: got %d bytes, fixture %d bytes", len(c.Blob), len(want))
+			}
+			if _, err := Decompress(want); err != nil {
+				t.Fatalf("decode fixture: %v", err)
+			}
+		})
 	}
-	path := filepath.Join("testdata", "golden-tac-sz3-v3.mrw")
-	if *updateGolden {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, c.Blob, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(path)
+}
+
+// TestGoldenMixedCodecContainer pins the mixed-codec fixture's semantics:
+// it is a version-4 container whose index names both codecs, and its
+// flate-compressed coarse level reconstructs the input bit-exactly while
+// the sz3 fine level stays within the error bound.
+func TestGoldenMixedCodecContainer(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join("testdata", "golden-mixed-sz3-flate-v4.mrw"))
 	if err != nil {
 		t.Fatalf("read fixture (regenerate with -update): %v", err)
 	}
-	if !bytes.Equal(c.Blob, want) {
-		t.Fatalf("container diverged from golden fixture: got %d bytes, fixture %d bytes", len(c.Blob), len(want))
+	if blob[4] != containerVersionMixed {
+		t.Fatalf("mixed fixture has container version %d, want %d", blob[4], containerVersionMixed)
 	}
-	if _, err := Decompress(want); err != nil {
-		t.Fatalf("decode fixture: %v", err)
+	ix, err := index.ReadFrom(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs := map[int]Compressor{}
+	for _, s := range ix.Streams {
+		codecs[s.Level] = Compressor(s.Compressor)
+	}
+	if codecs[0] != SZ3 || codecs[1] != Flate {
+		t.Fatalf("index stream codecs = %v, want level 0 SZ3, level 1 Flate", codecs)
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, eb := goldenHierarchy(t)
+	if !got.Levels[1].Data.Equal(h.Levels[1].Data) {
+		t.Fatal("flate level of the mixed container is not bit-exact")
+	}
+	if d := h.Levels[0].Data.MaxAbsDiff(got.Levels[0].Data); d > eb {
+		t.Fatalf("sz3 level error %g exceeds bound %g", d, eb)
 	}
 }
 

@@ -63,7 +63,7 @@ func TestOptionsIndexRoundTrip(t *testing.T) {
 		Alpha: 2.25, Beta: 8, SZ2BlockSize: 260, Interp: 1,
 	}
 	back := OptionsFromIndex(indexOpts(o))
-	if back != o {
+	if !reflect.DeepEqual(back, o) {
 		t.Fatalf("round trip mismatch: %+v != %+v", back, o)
 	}
 }

@@ -62,8 +62,9 @@ func (ww *wireWriter) writeFloat(v float64) {
 // and the per-level compressed payload byte counts.
 func (p *Prepared) writeContainer(ww *wireWriter, streamAt func(int) ([]byte, error)) (*index.Index, []int, error) {
 	o := p.opt
+	ver := p.wireVersion()
 	ww.write([]byte("MRWF"))
-	ww.writeByte(containerVersion)
+	ww.writeByte(ver)
 	ww.writeByte(byte(o.Compressor))
 	ww.writeByte(byte(o.Arrangement))
 	ww.writeByte(boolByte(o.Pad))
@@ -97,11 +98,18 @@ func (p *Prepared) writeContainer(ww *wireWriter, streamAt func(int) ([]byte, er
 			return err
 		}
 		next++
+		sc := o.codecFor(li)
 		ww.writeUvarint(uint64(len(s)))
+		if ver >= containerVersionMixed {
+			// v4: each stream names its own codec on the wire, right after
+			// its length — the sequential decoder's counterpart to the
+			// per-stream compressor byte the index footer always carried.
+			ww.writeByte(byte(sc))
+		}
 		ixl := &ix.Levels[li]
 		ixl.Streams = append(ixl.Streams, len(ix.Streams))
 		ix.Streams = append(ix.Streams, index.Stream{
-			Level: li, Box: box, Geom: geom, Compressor: byte(o.Compressor),
+			Level: li, Box: box, Geom: geom, Compressor: byte(sc),
 			Offset: ww.n, Len: int64(len(s)), RawLen: int64(rawLen),
 		})
 		ww.write(s)

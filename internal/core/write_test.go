@@ -24,6 +24,11 @@ func writeConfigs(eb float64) map[string]Options {
 		"tac-sz2":  {EB: eb, Compressor: SZ2, Arrangement: ArrangeTAC},
 		"zfp":      MRZFPOptions(eb),
 		"tac-zfp":  {EB: eb, Compressor: ZFP, Arrangement: ArrangeTAC},
+		"flate":    {EB: eb, Compressor: Flate},
+		"mixed": {EB: eb, Compressor: SZ3, Pad: true, AdaptiveEB: true,
+			LevelCodecs: map[int]Compressor{1: Flate}},
+		"tac-mixed": {EB: eb, Compressor: SZ3, Arrangement: ArrangeTAC,
+			LevelCodecs: map[int]Compressor{0: ZFP, 1: Flate}},
 	}
 }
 

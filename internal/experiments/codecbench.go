@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/benchfmt"
+	"repro/internal/codec"
+	"repro/internal/synth"
+)
+
+// CodecBench measures every registered codec on the same Size³ Nyx field
+// at eb = 1e-3·range (lossless codecs ignore the bound): single-field
+// compress and decompress throughput plus the achieved compression ratio
+// (recorded per codec in the report config as ratio_<name>). This is the
+// per-backend economics behind codec selection — what a level pays, in
+// time and bytes, for choosing sz3 vs sz2 vs zfp vs lossless flate. The
+// committed BENCH_codec.json tracks these numbers across PRs; regenerate
+// with `mrbench -exp codec -size 128 -json FILE`.
+func CodecBench(cfg Config) (*benchfmt.Report, error) {
+	cfg = cfg.withDefaults()
+	f := synth.Generate(synth.Nyx, cfg.Size, cfg.Seed)
+	eb := f.ValueRange() * 1e-3
+
+	rep := &benchfmt.Report{Config: map[string]any{
+		"dataset": "nyx",
+		"size":    cfg.Size,
+		"seed":    cfg.Seed,
+		"eb":      "1e-3 * value range",
+	}}
+	// Keep total wall clock a few seconds regardless of size.
+	iters := 1 << 24 / (cfg.Size * cfg.Size * cfg.Size)
+	if iters < 1 {
+		iters = 1
+	} else if iters > 20 {
+		iters = 20
+	}
+
+	fieldBytes := int64(f.Bytes())
+	var benchErr error
+	for _, c := range codec.All() {
+		p := codec.Params{EB: eb}
+		blob, err := c.Compress(f, p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name(), err)
+		}
+		rep.Config["ratio_"+c.Name()] = float64(fieldBytes) / float64(len(blob))
+		rep.Measure(c.Name()+"_compress", iters, fieldBytes, func() {
+			if _, err := c.Compress(f, p); err != nil && benchErr == nil {
+				benchErr = err
+			}
+		})
+		rep.Measure(c.Name()+"_decompress", iters, fieldBytes, func() {
+			if _, err := c.Decompress(blob); err != nil && benchErr == nil {
+				benchErr = err
+			}
+		})
+	}
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return rep, nil
+}
+
+// WriteCodecTSV prints a report in the package's usual tab-separated style.
+func WriteCodecTSV(w io.Writer, rep *benchfmt.Report) {
+	printHeader(w, fmt.Sprintf("Per-codec throughput and ratio: %v³ nyx, eb %v",
+		rep.Config["size"], rep.Config["eb"]),
+		"op", "ns/op", "MB/s", "CR")
+	for _, r := range rep.Results {
+		cr := ""
+		if name, ok := strings.CutSuffix(r.Name, "_compress"); ok {
+			if ratio, ok := rep.Config["ratio_"+name]; ok {
+				cr = fmt.Sprintf("%.1f", ratio)
+			}
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%s\n", r.Name, r.NsPerOp, r.MBPerS, cr)
+	}
+}
+
+func init() {
+	register("codec", "Per-backend codec throughput and ratio (registry sweep)",
+		func(w io.Writer, cfg Config) error {
+			rep, err := CodecBench(cfg)
+			if err != nil {
+				return err
+			}
+			WriteCodecTSV(w, rep)
+			return nil
+		})
+	registerJSON("codec", CodecBench, WriteCodecTSV)
+}

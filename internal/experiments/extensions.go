@@ -6,13 +6,11 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
-	"repro/internal/field"
 	"repro/internal/halo"
 	"repro/internal/metrics"
 	"repro/internal/postproc"
 	"repro/internal/render"
 	"repro/internal/synth"
-	"repro/internal/sz2"
 	"repro/internal/uncertainty"
 	"repro/internal/zfp"
 )
@@ -82,7 +80,7 @@ func runAblCurve(w io.Writer, cfg Config) error {
 			}
 			proc := postproc.Process(dec, a, po)
 			// CR via the actual compressor on the full field.
-			blob, err := compressUniformField(f, core.SZ2, eb)
+			blob, err := uniformCompress(core.SZ2, f, eb)
 			if err != nil {
 				return err
 			}
@@ -92,15 +90,6 @@ func runAblCurve(w io.Writer, cfg Config) error {
 		}
 	}
 	return nil
-}
-
-func compressUniformField(f *field.Field, comp core.Compressor, eb float64) ([]byte, error) {
-	switch comp {
-	case core.ZFP:
-		return zfp.Compress(f, zfp.Options{Tolerance: eb})
-	default:
-		return sz2.Compress(f, sz2.Options{EB: eb})
-	}
 }
 
 // runExtVolren renders volume images of the decompressed Hurricane field

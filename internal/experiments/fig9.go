@@ -13,7 +13,6 @@ import (
 	"repro/internal/render"
 	"repro/internal/synth"
 	"repro/internal/sz2"
-	"repro/internal/zfp"
 )
 
 func init() {
@@ -88,12 +87,7 @@ func uniformEBForCR(f *field.Field, comp core.Compressor, targetCR float64) (flo
 	var err error
 	for i := 0; i < 12; i++ {
 		eb = math.Sqrt(lo * hi)
-		switch comp {
-		case core.ZFP:
-			blob, err = zfp.Compress(f, zfp.Options{Tolerance: eb})
-		default:
-			blob, err = sz2.Compress(f, sz2.Options{EB: eb})
-		}
+		blob, err = uniformCompress(comp, f, eb)
 		if err != nil {
 			return 0, nil, err
 		}

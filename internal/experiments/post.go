@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/filters"
@@ -34,6 +35,16 @@ func uniformRoundTrip(comp core.Compressor, eb float64) postproc.RoundTrip {
 	return core.Options{EB: eb, Compressor: comp}.RoundTrip()
 }
 
+// uniformCompress encodes one uniform field with the registered backend at
+// the given error bound and that backend's default options.
+func uniformCompress(comp core.Compressor, f *field.Field, eb float64) ([]byte, error) {
+	cd, ok := codec.ByID(byte(comp))
+	if !ok {
+		return nil, codec.ErrUnknownID(byte(comp))
+	}
+	return cd.Compress(f, codec.Params{EB: eb})
+}
+
 // postProcessUniform runs the full §III-B pipeline on a uniform field:
 // sample → fit intensity → compress → decompress → process. It returns CR,
 // PSNR before, and PSNR after.
@@ -46,15 +57,7 @@ func postProcessUniform(f *field.Field, comp core.Compressor, eb float64) (cr, b
 		return 0, 0, 0, err
 	}
 	a := set.FindIntensity()
-	var blob []byte
-	switch comp {
-	case core.SZ2:
-		blob, err = sz2.Compress(f, sz2.Options{EB: eb})
-	case core.ZFP:
-		blob, err = zfp.Compress(f, zfp.Options{Tolerance: eb})
-	default:
-		err = fmt.Errorf("postProcessUniform: unsupported compressor %v", comp)
-	}
+	blob, err := uniformCompress(comp, f, eb)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -67,14 +70,11 @@ func postProcessUniform(f *field.Field, comp core.Compressor, eb float64) (cr, b
 }
 
 func rtDecode(comp core.Compressor, blob []byte) (*field.Field, error) {
-	switch comp {
-	case core.SZ2:
-		return sz2.Decompress(blob)
-	case core.ZFP:
-		return zfp.Decompress(blob)
-	default:
-		return nil, fmt.Errorf("rtDecode: unsupported compressor %v", comp)
+	cd, ok := codec.ByID(byte(comp))
+	if !ok {
+		return nil, codec.ErrUnknownID(byte(comp))
 	}
+	return cd.Decompress(blob)
 }
 
 // runTable1 compares the classical filters against the error-bounded
@@ -390,19 +390,22 @@ func runTable9(w io.Writer, cfg Config) error {
 	return nil
 }
 
-// chunkCodec adapts a backend for parallelcomp at one error bound.
+// chunkCodec adapts a registered backend for parallelcomp at one error
+// bound.
 func chunkCodec(comp core.Compressor, eb float64) parallelcomp.Codec {
-	if comp == core.ZFP {
+	cd, ok := codec.ByID(byte(comp))
+	if !ok {
+		err := codec.ErrUnknownID(byte(comp))
 		return parallelcomp.Codec{
-			Name:       "zfp",
-			Compress:   func(f *field.Field) ([]byte, error) { return zfp.Compress(f, zfp.Options{Tolerance: eb}) },
-			Decompress: zfp.Decompress,
+			Name:       comp.String(),
+			Compress:   func(*field.Field) ([]byte, error) { return nil, err },
+			Decompress: func([]byte) (*field.Field, error) { return nil, err },
 		}
 	}
 	return parallelcomp.Codec{
-		Name:       "sz2",
-		Compress:   func(f *field.Field) ([]byte, error) { return sz2.Compress(f, sz2.Options{EB: eb}) },
-		Decompress: sz2.Decompress,
+		Name:       cd.Name(),
+		Compress:   func(f *field.Field) ([]byte, error) { return cd.Compress(f, codec.Params{EB: eb}) },
+		Decompress: cd.Decompress,
 	}
 }
 

@@ -64,11 +64,23 @@ func ReadFromLimit(r io.Reader, maxBytes int64) (*Field, error) {
 	nx := int(binary.LittleEndian.Uint64(hdr[0:]))
 	ny := int(binary.LittleEndian.Uint64(hdr[8:]))
 	nz := int(binary.LittleEndian.Uint64(hdr[16:]))
+	// The sample-count cap is checked one factor at a time: a naive
+	// nx*ny*nz can wrap int64 for hostile headers and slip a negative (or
+	// tiny) product past the bound, panicking in field.New.
 	const maxSamples = 1 << 33 // 64 GiB of float64, sanity cap
-	if nx <= 0 || ny <= 0 || nz <= 0 || int64(nx)*int64(ny)*int64(nz) > maxSamples {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
 		return nil, fmt.Errorf("field: invalid dimensions %dx%dx%d", nx, ny, nz)
 	}
-	if n := int64(nx) * int64(ny) * int64(nz); maxBytes > 0 && headerSize+8*n > maxBytes {
+	n := int64(nx)
+	if int64(ny) > maxSamples/n {
+		return nil, fmt.Errorf("field: invalid dimensions %dx%dx%d", nx, ny, nz)
+	}
+	n *= int64(ny)
+	if int64(nz) > maxSamples/n {
+		return nil, fmt.Errorf("field: invalid dimensions %dx%dx%d", nx, ny, nz)
+	}
+	n *= int64(nz)
+	if maxBytes > 0 && headerSize+8*n > maxBytes {
 		return nil, fmt.Errorf("field: %dx%dx%d needs %d bytes, over the %d-byte limit: %w",
 			nx, ny, nz, headerSize+8*n, maxBytes, ErrTooLarge)
 	}

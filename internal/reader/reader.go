@@ -237,7 +237,9 @@ func (r *Reader) cachedField(key string) (*field.Field, bool) {
 	return nil, false
 }
 
-// fetchStream reads and decodes stream si, without caching.
+// fetchStream reads and decodes stream si, without caching. Decoding uses
+// the stream's own codec from the index — in a mixed-codec (format v4)
+// container each level may have been compressed by a different backend.
 func (r *Reader) fetchStream(si int) (*field.Field, error) {
 	s := r.ix.Streams[si]
 	payload := make([]byte, s.Len)
@@ -245,7 +247,9 @@ func (r *Reader) fetchStream(si int) (*field.Field, error) {
 		return nil, fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err)
 	}
 	r.bytesRead.Add(s.Len)
-	f, err := core.DecodeStream(payload, r.opt)
+	opt := r.opt
+	opt.Compressor = core.Compressor(s.Compressor)
+	f, err := core.DecodeStream(payload, opt)
 	if err != nil {
 		return nil, fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err)
 	}

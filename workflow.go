@@ -98,14 +98,17 @@ type ErrorModel = uncertainty.ErrorModel
 // NewField allocates a zero field; see field.New.
 func NewField(nx, ny, nz int) *Field { return field.New(nx, ny, nz) }
 
-// Compressor names a compression backend.
+// Compressor names a compression backend. Any name registered in the
+// codec registry is valid (see Codecs for the current vocabulary); the
+// constants below are the built-ins.
 type Compressor string
 
-// Supported backends.
+// Built-in backends.
 const (
-	SZ3 Compressor = "sz3" // global interpolation compressor (default)
-	SZ2 Compressor = "sz2" // block-wise Lorenzo/regression compressor
-	ZFP Compressor = "zfp" // block-wise transform compressor
+	SZ3   Compressor = "sz3"   // global interpolation compressor (default)
+	SZ2   Compressor = "sz2"   // block-wise Lorenzo/regression compressor
+	ZFP   Compressor = "zfp"   // block-wise transform compressor
+	Flate Compressor = "flate" // lossless raw+flate passthrough
 )
 
 // Arrangement names a unit-block layout for multi-resolution levels.
@@ -154,21 +157,34 @@ type Options struct {
 	// backend streams concurrently (0 = runtime.GOMAXPROCS(0), 1 = serial).
 	// The compressed container is byte-identical for every value.
 	Workers int
+	// LevelCodecs overrides the codec per resolution level (key = level,
+	// 0 = finest); levels not named use Compressor. Typical use: coarse
+	// levels lossless ("flate"), fine levels error-bounded — see
+	// ParseLevelCodecs for the "level:codec" spec syntax CLI flags and
+	// query parameters use.
+	LevelCodecs map[int]Compressor
 }
 
 func (o Options) coreOptions(eb float64) (core.Options, error) {
 	co := core.Options{EB: eb, Alpha: o.Alpha, Beta: o.Beta, Workers: o.Workers}
-	switch o.Compressor {
-	case "", SZ3:
-		co.Compressor = core.SZ3
+	c, err := lookupCodec(o.Compressor)
+	if err != nil {
+		return co, err
+	}
+	co.Compressor = core.Compressor(c.WireID())
+	if c.PadAndAdaptiveEB() {
 		co.Pad = !o.DisablePad
 		co.AdaptiveEB = !o.DisableAdaptiveEB
-	case SZ2:
-		co.Compressor = core.SZ2
-	case ZFP:
-		co.Compressor = core.ZFP
-	default:
-		return co, fmt.Errorf("repro: unknown compressor %q", o.Compressor)
+	}
+	for l, name := range o.LevelCodecs {
+		lc, err := lookupCodec(name)
+		if err != nil {
+			return co, fmt.Errorf("level %d: %w", l, err)
+		}
+		if co.LevelCodecs == nil {
+			co.LevelCodecs = make(map[int]core.Compressor, len(o.LevelCodecs))
+		}
+		co.LevelCodecs[l] = core.Compressor(lc.WireID())
 	}
 	switch o.Arrangement {
 	case "", Linear:
