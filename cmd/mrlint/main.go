@@ -1,0 +1,49 @@
+// Command mrlint runs the repo's custom static analyzers (see
+// internal/lint) over the packages matched by the given go-list patterns.
+//
+// Usage:
+//
+//	mrlint [-list] [packages]
+//
+// With no patterns it analyzes ./.... It prints one finding per line in the
+// usual file:line:col: [analyzer] message format and exits non-zero if any
+// finding survives the //lint:ignore suppression filter. -list prints the
+// registered analyzers and their invariants instead of running.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("mrlint/%s\n\t%s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mrlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

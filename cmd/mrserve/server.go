@@ -728,6 +728,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			continue // open in flight or failed
 		}
 		open++
+		//lint:ignore mrlint/lockio Stats only loads atomic counters, it cannot block or re-enter the registry
 		st := e.r.Stats()
 		decodes += st.BackendDecodes
 		bytesRead += st.BytesRead

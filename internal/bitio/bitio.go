@@ -96,6 +96,10 @@ func (w *Writer) Len() int { return w.bits }
 // remains usable; subsequent writes continue from the partial bit position
 // (not after the padding). Callers that are done writing should prefer
 // Finish, which never copies.
+//
+// aliases: the no-padding fast path returns the writer's live buffer; it
+// shares backing storage with the writer, though later appends never mutate
+// the returned elements.
 func (w *Writer) Bytes() []byte {
 	if w.n == 0 {
 		return w.buf
@@ -110,6 +114,9 @@ func (w *Writer) Bytes() []byte {
 // and returns it, consuming the writer: it must not be written to again.
 // Unlike Bytes it never copies, so a caller that pre-Grew the writer gets the
 // finished stream in place.
+//
+// aliases: the returned slice is the writer's own buffer; the writer must
+// not be reused while the result is live.
 func (w *Writer) Finish() []byte {
 	if w.n > 0 {
 		w.buf = append(w.buf, byte(w.cur<<(8-w.n)))

@@ -1,10 +1,41 @@
 package codec
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"repro/internal/index"
 	"repro/internal/synth"
 )
+
+// seedGoldenStreams walks the committed golden containers' footers and adds
+// each backend stream — with its real wire ID — to the corpus, so the fuzzer
+// starts from on-disk bytes of every codec we ship (including the mixed
+// per-level v4 container) rather than only freshly generated ones.
+func seedGoldenStreams(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "core", "testdata", "*.mrw"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no golden containers found: %v", err)
+	}
+	for _, p := range paths {
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("read golden container: %v", err)
+		}
+		ix, err := index.ReadFrom(bytes.NewReader(blob), int64(len(blob)))
+		if err != nil {
+			f.Fatalf("%s: golden container has no parseable footer: %v", p, err)
+		}
+		for _, s := range ix.Streams {
+			if s.Offset < 0 || s.Len < 0 || s.Offset+s.Len > int64(len(blob)) {
+				f.Fatalf("%s: stream out of bounds", p)
+			}
+			f.Add(s.Compressor, blob[s.Offset:s.Offset+s.Len])
+		}
+	}
+}
 
 // FuzzDecodeStream hammers every registered codec's payload parser with a
 // fuzzed wire ID + payload — the exact bytes a hostile container or index
@@ -14,6 +45,7 @@ import (
 // internal/index's FuzzContainerIndex, which covers the footer locating
 // the streams; this covers decoding them.
 func FuzzDecodeStream(f *testing.F) {
+	seedGoldenStreams(f)
 	// Seed with each codec's valid output over two small fields plus
 	// truncations and raw garbage, so the fuzzer starts inside every
 	// backend's header grammar.

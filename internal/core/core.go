@@ -46,7 +46,15 @@ import (
 // version 3, byte-identical to before — version 4 appears on the wire only
 // when a level actually overrides the codec.
 const (
-	containerVersion      = 3
+	// containerMagic opens every container; the version byte follows it.
+	containerMagic = "MRWF"
+	// containerVersionV1 stored SZ2BlockSize in a single byte.
+	containerVersionV1 = 1
+	// containerVersionV2 widened SZ2BlockSize to a uvarint.
+	containerVersionV2 = 2
+	// containerVersion (v3) appended the seekable index footer.
+	containerVersion = 3
+	// containerVersionMixed (v4) added a per-stream codec byte.
 	containerVersionMixed = 4
 )
 
@@ -54,6 +62,12 @@ const (
 // large enough for any real block size, small enough that a corrupt uvarint
 // can neither wrap int nor smuggle an absurd value past the header scan.
 const maxSZ2BlockSize = 1 << 30
+
+// maxHeaderField bounds the scalar container-header fields beyond the axis
+// dimensions (block size, level count, TAC box geometry): generous for any
+// real grid, small enough that the int conversion and every downstream
+// product stay well inside int64.
+const maxHeaderField = 1 << 24
 
 // Compressor selects a backend codec by its wire ID (see internal/codec;
 // the constants below alias the registry's built-in IDs). Any registered
@@ -619,11 +633,11 @@ type container struct {
 // sees well-delimited payloads. It returns the parsed structure and the
 // allocated (still empty) hierarchy.
 func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
-	if len(blob) < 12 || string(blob[:4]) != "MRWF" {
+	if len(blob) < 12 || string(blob[:4]) != containerMagic {
 		return nil, nil, errors.New("core: bad magic")
 	}
 	version := blob[4]
-	if version < 1 || version > containerVersionMixed {
+	if version < containerVersionV1 || version > containerVersionMixed {
 		return nil, nil, fmt.Errorf("core: unsupported version %d", version)
 	}
 	buf := blob[5:]
@@ -668,7 +682,7 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 	opt.PadKind = layout.PadKind(buf[3])
 	opt.AdaptiveEB = buf[4] != 0
 	buf = buf[5:]
-	if version == 1 {
+	if version == containerVersionV1 {
 		// v1 stored SZ2BlockSize in one byte (values > 255 wrapped on write).
 		if err := need(2); err != nil {
 			return nil, nil, err
@@ -701,15 +715,39 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 	if opt.Beta, err = readF(); err != nil {
 		return nil, nil, err
 	}
-	dims := make([]int, 5)
-	for i := range dims {
-		v, err := readU()
-		if err != nil {
-			return nil, nil, err
-		}
-		dims[i] = int(v)
+	// The five geometry fields are validated in their decoded uint64 form
+	// before any int conversion: CheckDims bounds the axes and their
+	// product, and the remaining scalars get the generic header cap, so a
+	// hostile container can neither wrap an int nor drive grid.New into a
+	// huge allocation.
+	nx64, err := readU()
+	if err != nil {
+		return nil, nil, err
 	}
-	nx, ny, nz, blockB, nLevels := dims[0], dims[1], dims[2], dims[3], dims[4]
+	ny64, err := readU()
+	if err != nil {
+		return nil, nil, err
+	}
+	nz64, err := readU()
+	if err != nil {
+		return nil, nil, err
+	}
+	blockB64, err := readU()
+	if err != nil {
+		return nil, nil, err
+	}
+	nLevels64, err := readU()
+	if err != nil {
+		return nil, nil, err
+	}
+	nx, ny, nz, _, err := field.CheckDims(nx64, ny64, nz64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	if blockB64 > maxHeaderField || nLevels64 > maxHeaderField {
+		return nil, nil, errors.New("core: implausible header field")
+	}
+	blockB, nLevels := int(blockB64), int(nLevels64)
 	h, err := grid.New(nx, ny, nz, blockB, nLevels)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
@@ -776,6 +814,9 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 					v, err := readU()
 					if err != nil {
 						return nil, nil, err
+					}
+					if v > maxHeaderField {
+						return nil, nil, errors.New("core: implausible box geometry")
 					}
 					vals[i] = int(v)
 				}

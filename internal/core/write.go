@@ -63,7 +63,7 @@ func (ww *wireWriter) writeFloat(v float64) {
 func (p *Prepared) writeContainer(ww *wireWriter, streamAt func(int) ([]byte, error)) (*index.Index, []int, error) {
 	o := p.opt
 	ver := p.wireVersion()
-	ww.write([]byte("MRWF"))
+	ww.write([]byte(containerMagic))
 	ww.writeByte(ver)
 	ww.writeByte(byte(o.Compressor))
 	ww.writeByte(byte(o.Arrangement))

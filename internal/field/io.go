@@ -22,6 +22,45 @@ var ErrTooLarge = errors.New("field too large")
 
 const headerSize = 24
 
+// MaxSamples caps the total sample count any decoder will accept from an
+// untrusted header: 2^33 float64 samples is 64 GiB, far beyond any dataset
+// this pipeline targets.
+const MaxSamples = 1 << 33
+
+// CheckDims validates wire-decoded field dimensions while they are still in
+// their raw uint64 form and converts them only after the bounds hold. It is
+// the single place where untrusted nx/ny/nz become ints: every decoder
+// (field containers, sz2/sz3/zfp headers, parallelcomp slabs, core
+// containers) funnels through it, so a hostile header can neither wrap the
+// nx*ny*nz product past an int64 nor drive a huge allocation. The product
+// is checked one factor at a time because a naive multiply can wrap int64
+// and slip a negative (or tiny) total past the cap. Returns the dimensions
+// as ints plus the validated total sample count.
+func CheckDims(nx64, ny64, nz64 uint64) (nx, ny, nz int, samples int64, err error) {
+	badDims := func() error {
+		return fmt.Errorf("field: invalid dimensions %dx%dx%d", nx64, ny64, nz64)
+	}
+	if nx64 == 0 || nx64 > MaxSamples {
+		return 0, 0, 0, 0, badDims()
+	}
+	if ny64 == 0 || ny64 > MaxSamples {
+		return 0, 0, 0, 0, badDims()
+	}
+	if nz64 == 0 || nz64 > MaxSamples {
+		return 0, 0, 0, 0, badDims()
+	}
+	n := int64(nx64)
+	if int64(ny64) > MaxSamples/n {
+		return 0, 0, 0, 0, badDims()
+	}
+	n *= int64(ny64)
+	if int64(nz64) > MaxSamples/n {
+		return 0, 0, 0, 0, badDims()
+	}
+	n *= int64(nz64)
+	return int(nx64), int(ny64), int(nz64), n, nil
+}
+
 // WriteTo serializes the field to w in the raw binary format.
 func (f *Field) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
@@ -61,25 +100,14 @@ func ReadFromLimit(r io.Reader, maxBytes int64) (*Field, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("field: reading header: %w", err)
 	}
-	nx := int(binary.LittleEndian.Uint64(hdr[0:]))
-	ny := int(binary.LittleEndian.Uint64(hdr[8:]))
-	nz := int(binary.LittleEndian.Uint64(hdr[16:]))
-	// The sample-count cap is checked one factor at a time: a naive
-	// nx*ny*nz can wrap int64 for hostile headers and slip a negative (or
-	// tiny) product past the bound, panicking in field.New.
-	const maxSamples = 1 << 33 // 64 GiB of float64, sanity cap
-	if nx <= 0 || ny <= 0 || nz <= 0 {
-		return nil, fmt.Errorf("field: invalid dimensions %dx%dx%d", nx, ny, nz)
+	nx, ny, nz, n, err := CheckDims(
+		binary.LittleEndian.Uint64(hdr[0:]),
+		binary.LittleEndian.Uint64(hdr[8:]),
+		binary.LittleEndian.Uint64(hdr[16:]),
+	)
+	if err != nil {
+		return nil, err
 	}
-	n := int64(nx)
-	if int64(ny) > maxSamples/n {
-		return nil, fmt.Errorf("field: invalid dimensions %dx%dx%d", nx, ny, nz)
-	}
-	n *= int64(ny)
-	if int64(nz) > maxSamples/n {
-		return nil, fmt.Errorf("field: invalid dimensions %dx%dx%d", nx, ny, nz)
-	}
-	n *= int64(nz)
 	if maxBytes > 0 && headerSize+8*n > maxBytes {
 		return nil, fmt.Errorf("field: %dx%dx%d needs %d bytes, over the %d-byte limit: %w",
 			nx, ny, nz, headerSize+8*n, maxBytes, ErrTooLarge)

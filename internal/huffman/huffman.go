@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/bitio"
@@ -299,6 +300,9 @@ func Decode(buf []byte) ([]int32, error) {
 		}
 		buf = buf[m:]
 		prev += delta
+		if prev > math.MaxInt32 || prev < math.MinInt32 {
+			return nil, errors.New("huffman: symbol out of range")
+		}
 		syms[i] = int32(prev)
 		if len(buf) == 0 {
 			return nil, errors.New("huffman: truncated lengths")

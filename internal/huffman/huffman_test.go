@@ -2,6 +2,8 @@ package huffman
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 )
@@ -117,6 +119,25 @@ func TestQuickRoundTrip(t *testing.T) {
 // streams, and that decoding arbitrary (typically corrupt) bytes returns an
 // error instead of panicking.
 func FuzzHuffmanRoundTrip(f *testing.F) {
+	// Seed the decode-robustness argument with the committed SZ backend
+	// fixtures: their payloads embed real huffman sections, so the fuzzer's
+	// corrupt-stream mutations start from shipped bit patterns.
+	for _, pat := range []string{
+		filepath.Join("..", "sz3", "testdata", "*.sz3"),
+		filepath.Join("..", "sz2", "testdata", "*.sz2"),
+	} {
+		paths, err := filepath.Glob(pat)
+		if err != nil || len(paths) == 0 {
+			f.Fatalf("no golden fixtures for %s: %v", pat, err)
+		}
+		for _, p := range paths {
+			blob, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatalf("read golden fixture: %v", err)
+			}
+			f.Add([]byte{}, blob)
+		}
+	}
 	f.Add([]byte{}, []byte{})
 	f.Add([]byte{0, 0, 0, 1, 255, 255, 255, 255}, []byte{0xFF})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, Encode([]int32{1, 2, 1, 1, 2, 3}))

@@ -3,8 +3,28 @@ package index
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
+	"path/filepath"
 	"testing"
 )
+
+// seedGoldenContainers adds every committed golden container to the corpus:
+// each carries a real footer (v3 linear, v3 TAC, v4 mixed-codec), so the
+// fuzzer starts from valid bytes of every index shape we ship instead of
+// having to rediscover the grammar.
+func seedGoldenContainers(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "core", "testdata", "*.mrw"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no golden containers found: %v", err)
+	}
+	for _, p := range paths {
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("read golden container: %v", err)
+		}
+		f.Add(blob)
+	}
+}
 
 // FuzzContainerIndex hammers the footer parser with mutated trailers and
 // sections — truncated footers, overflowing uvarints, offsets past EOF —
@@ -12,6 +32,7 @@ import (
 // accept, never panic, never allocate absurdly, and anything it accepts
 // must re-serialize into a parseable footer.
 func FuzzContainerIndex(f *testing.F) {
+	seedGoldenContainers(f)
 	ix, body := sampleIndex()
 	f.Add(ix.AppendFooter(append([]byte(nil), body...)))
 	// A single-level merged container.

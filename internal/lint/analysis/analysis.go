@@ -1,0 +1,173 @@
+// Package analysis is a stdlib-only reimplementation of the subset of
+// golang.org/x/tools/go/analysis that mrlint's analyzers need. The build
+// environment pins dependencies to the standard library, so the real
+// framework cannot be vendored; this package keeps the same shape —
+// Analyzer, Pass, Diagnostic, and a Reportf helper — so the analyzers can
+// migrate to x/tools mechanically if the dependency ever becomes available.
+//
+// It also implements mrlint's suppression convention: a diagnostic from
+// analyzer <name> is dropped when the flagged line, or the line immediately
+// above it, carries a comment of the form
+//
+//	//lint:ignore mrlint/<name> reason
+//
+// The reason is mandatory; an ignore directive without one does not
+// suppress anything (and is itself reported by the driver), so every
+// intentional violation documents why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives ("mrlint/<name>").
+	Name string
+	// Doc is the one-paragraph description printed by mrlint -list.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreRe matches the suppression directive. The directive name may be
+// written qualified ("mrlint/lockio") or bare ("lockio").
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	name   string // analyzer name, without the mrlint/ prefix
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// RunAnalyzers applies analyzers to the package and returns the surviving
+// diagnostics plus any malformed or unused suppression directives (which
+// the driver reports as findings themselves, so stale ignores cannot
+// accumulate silently).
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(p); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		diags = append(diags, p.diags...)
+	}
+
+	directives, bad := collectIgnores(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppress(directives, d) {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range directives {
+		if !dir.used {
+			kept = append(kept, Diagnostic{
+				Analyzer: "ignore",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("unused //lint:ignore mrlint/%s directive (nothing to suppress here)", dir.name),
+			})
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+// collectIgnores parses every //lint:ignore directive in the files.
+// Malformed directives (missing reason, missing analyzer name) come back as
+// diagnostics.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ([]*ignoreDirective, []Diagnostic) {
+	var dirs []*ignoreDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				name := strings.TrimPrefix(m[1], "mrlint/")
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  "//lint:ignore directive without a reason; every suppression must say why the flagged code is safe",
+					})
+					continue
+				}
+				dirs = append(dirs, &ignoreDirective{name: name, reason: strings.TrimSpace(m[2]), pos: pos})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppress reports whether some directive covers d: same file, same
+// analyzer, on the flagged line or the line immediately above it.
+func suppress(dirs []*ignoreDirective, d Diagnostic) bool {
+	for _, dir := range dirs {
+		if dir.name != d.Analyzer {
+			continue
+		}
+		if dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// callFlagger reports every call to a function literally named "flagme";
+// just enough analyzer to exercise the suppression machinery.
+var callFlagger = &Analyzer{
+	Name: "callflag",
+	Doc:  "test analyzer: flags calls to flagme",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						p.Reportf(call.Pos(), "call to flagme")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runOn(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	diags, err := RunAnalyzers(fset, []*ast.File{f}, nil, nil, []*Analyzer{callFlagger})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	return diags
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	diags := runOn(t, `package p
+func flagme() {}
+func f() {
+	flagme() //lint:ignore mrlint/callflag fixture says this one is fine
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("same-line directive did not suppress: %v", diags)
+	}
+}
+
+func TestSuppressionLineAbove(t *testing.T) {
+	diags := runOn(t, `package p
+func flagme() {}
+func f() {
+	//lint:ignore mrlint/callflag fixture says this one is fine
+	flagme()
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("line-above directive did not suppress: %v", diags)
+	}
+}
+
+func TestBareNameSuppresses(t *testing.T) {
+	diags := runOn(t, `package p
+func flagme() {}
+func f() {
+	//lint:ignore callflag the unqualified analyzer name also works
+	flagme()
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("bare-name directive did not suppress: %v", diags)
+	}
+}
+
+func TestUnsuppressedFindingSurvives(t *testing.T) {
+	diags := runOn(t, `package p
+func flagme() {}
+func f() {
+	flagme()
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "callflag" {
+		t.Fatalf("want the one callflag finding, got %v", diags)
+	}
+	if diags[0].Pos.Line != 4 {
+		t.Fatalf("finding at line %d, want 4", diags[0].Pos.Line)
+	}
+}
+
+func TestDirectiveWithoutReason(t *testing.T) {
+	diags := runOn(t, `package p
+func flagme() {}
+func f() {
+	//lint:ignore mrlint/callflag
+	flagme()
+}
+`)
+	// A reasonless directive suppresses nothing, so both the original
+	// finding and the malformed-directive diagnostic must come back.
+	var gotFinding, gotMalformed bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "callflag":
+			gotFinding = true
+		case d.Analyzer == "ignore" && strings.Contains(d.Message, "without a reason"):
+			gotMalformed = true
+		}
+	}
+	if !gotFinding || !gotMalformed {
+		t.Fatalf("want original finding and malformed-directive diagnostic, got %v", diags)
+	}
+}
+
+func TestUnusedDirectiveReported(t *testing.T) {
+	diags := runOn(t, `package p
+func f() {
+	//lint:ignore mrlint/callflag nothing on the next line actually trips it
+	_ = 1
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "ignore" ||
+		!strings.Contains(diags[0].Message, "unused //lint:ignore mrlint/callflag") {
+		t.Fatalf("want one unused-directive diagnostic, got %v", diags)
+	}
+}
+
+func TestWrongAnalyzerNameDoesNotSuppress(t *testing.T) {
+	diags := runOn(t, `package p
+func flagme() {}
+func f() {
+	//lint:ignore mrlint/otherthing reason aimed at a different analyzer
+	flagme()
+}
+`)
+	// The finding survives and the directive is reported as unused.
+	var gotFinding, gotUnused bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "callflag":
+			gotFinding = true
+		case d.Analyzer == "ignore" && strings.Contains(d.Message, "unused"):
+			gotUnused = true
+		}
+	}
+	if !gotFinding || !gotUnused {
+		t.Fatalf("want surviving finding plus unused directive, got %v", diags)
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	diags := runOn(t, `package p
+func flagme() {}
+func g() {
+	flagme()
+	flagme()
+}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings, got %v", diags)
+	}
+	if diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Fatalf("diagnostics not sorted by line: %v", diags)
+	}
+}

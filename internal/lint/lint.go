@@ -1,0 +1,42 @@
+// Package lint ties the mrlint analyzer suite together: it loads packages,
+// runs every registered analyzer over them, and applies the suppression
+// convention. cmd/mrlint is a thin wrapper around Run; the analyzers live
+// in subpackages so each invariant is documented and tested on its own.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+	"repro/internal/lint/lockio"
+	"repro/internal/lint/retbuf"
+	"repro/internal/lint/uvarintguard"
+	"repro/internal/lint/wireconst"
+)
+
+// Analyzers returns the full mrlint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockio.Analyzer,
+		retbuf.Analyzer,
+		uvarintguard.Analyzer,
+		wireconst.Analyzer,
+	}
+}
+
+// Run loads the packages matched by the go-list patterns and returns every
+// surviving diagnostic, sorted by position.
+func Run(patterns []string) ([]analysis.Diagnostic, error) {
+	pkgs, err := load.FromGoList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, Analyzers())
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

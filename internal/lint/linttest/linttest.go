@@ -1,0 +1,143 @@
+// Package linttest is a stdlib-only stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over
+// fixture packages laid out under testdata/src/<importpath> and checks the
+// reported diagnostics against // want annotations in the fixture sources.
+//
+// An annotation is a trailing comment of the form
+//
+//	code() // want "regex"
+//	code() // want `regex with "quotes"`
+//
+// Each quoted (or backquoted) string is a regular expression that must
+// match the message of exactly one diagnostic reported on that line; lines
+// may carry several. Diagnostics on lines without a matching annotation,
+// and annotations no diagnostic matches, both fail the test — so fixtures
+// prove both the positives and the absence of false positives.
+//
+// Suppression directives (//lint:ignore) are honored exactly as in the real
+// driver, so fixtures can also exercise the suppression convention.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Testdata returns the absolute path of the calling test's testdata
+// directory.
+func Testdata(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package from testdata/src/<importPath>, applies
+// the analyzer, and compares diagnostics against the // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		path := path
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			pkg, err := load.FromDir(testdata, path)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", path, err)
+			}
+			diags, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			}
+			checkWants(t, pkg.Dir, diags)
+		})
+	}
+}
+
+// wantRe matches one quoted or backquoted expectation after a want marker.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)$")
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkWants collects the annotations from every fixture file in dir and
+// cross-checks them against diags.
+func checkWants(t *testing.T, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+				pattern, err := unquoteWant(arg)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want argument %s: %v", path, i+1, arg, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pattern, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line), d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re.String())
+		}
+	}
+}
+
+func unquoteWant(arg string) (string, error) {
+	if strings.HasPrefix(arg, "`") {
+		return strings.Trim(arg, "`"), nil
+	}
+	return strconv.Unquote(arg)
+}

@@ -1,0 +1,283 @@
+// Package load type-checks Go packages for mrlint using only the standard
+// library. The usual loader for go/analysis drivers is
+// golang.org/x/tools/go/packages; this environment pins dependencies to the
+// stdlib, so load reimplements the needed subset: it resolves packages
+// either through `go list -deps -json` (the mrlint driver) or through an
+// on-disk source tree rooted at a testdata directory (the linttest
+// harness), parses their files, and type-checks them in dependency order
+// with go/types. Dependency packages are checked with IgnoreFuncBodies —
+// only their exported API matters — so a full run over the module plus its
+// stdlib closure stays fast.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Fset       *token.FileSet
+	Types      *types.Package
+	Info       *types.Info
+	// Target marks packages named by the load patterns (as opposed to
+	// dependencies pulled in for type information only).
+	Target bool
+}
+
+// rawPackage is a resolved-but-unparsed package.
+type rawPackage struct {
+	importPath string
+	dir        string
+	files      []string          // absolute paths
+	importMap  map[string]string // source import path -> resolved import path
+	target     bool
+}
+
+// resolver maps an import path to its source files.
+type resolver func(importPath string) (*rawPackage, error)
+
+// loader caches type-checked packages across the recursive import walk.
+type loader struct {
+	fset    *token.FileSet
+	resolve resolver
+	cache   map[string]*Package
+	pending map[string]bool
+	sizes   types.Sizes
+}
+
+func newLoader(resolve resolver) *loader {
+	return &loader{
+		fset:    token.NewFileSet(),
+		resolve: resolve,
+		cache:   map[string]*Package{},
+		pending: map[string]bool{},
+		sizes:   types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// load type-checks importPath (and, recursively, its imports).
+func (l *loader) load(importPath string) (*Package, error) {
+	if p, ok := l.cache[importPath]; ok {
+		return p, nil
+	}
+	if l.pending[importPath] {
+		return nil, fmt.Errorf("load: import cycle through %s", importPath)
+	}
+	l.pending[importPath] = true
+	defer delete(l.pending, importPath)
+
+	raw, err := l.resolve(importPath)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(raw.files))
+	for _, path := range raw.files {
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", importPath, err)
+		}
+		files = append(files, f)
+	}
+
+	// Type-check with imports resolved through this loader. Dependency
+	// packages tolerate errors (assembly-backed stdlib internals and
+	// build-tag corners need not check perfectly to expose their API);
+	// target packages must check cleanly.
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	cfg := types.Config{
+		Importer:         &mapImporter{l: l, importMap: raw.importMap},
+		FakeImportC:      true,
+		IgnoreFuncBodies: !raw.target,
+		Sizes:            l.sizes,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := cfg.Check(importPath, l.fset, files, info)
+	if raw.target && firstErr != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", importPath, firstErr)
+	}
+	p := &Package{
+		ImportPath: importPath,
+		Dir:        raw.dir,
+		Files:      files,
+		Fset:       l.fset,
+		Types:      tpkg,
+		Info:       info,
+		Target:     raw.target,
+	}
+	l.cache[importPath] = p
+	return p, nil
+}
+
+// mapImporter resolves import statements against the loader cache,
+// translating through the importing package's ImportMap (vendored stdlib
+// dependencies are listed under their vendor path).
+type mapImporter struct {
+	l         *loader
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mapImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	p, err := m.l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// goListPackage is the subset of `go list -json` output the loader needs.
+type goListPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+}
+
+// FromGoList loads the packages matched by the go-list patterns plus their
+// full dependency closure, and returns only the matched (target) packages,
+// fully type-checked, in import-path order.
+func FromGoList(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %w\n%s", err, stderr.String())
+	}
+
+	listed := map[string]*goListPackage{}
+	var order []string
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p goListPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		listed[p.ImportPath] = &p
+		order = append(order, p.ImportPath)
+	}
+
+	l := newLoader(func(importPath string) (*rawPackage, error) {
+		p, ok := listed[importPath]
+		if !ok {
+			return nil, fmt.Errorf("load: package %s not in go list output", importPath)
+		}
+		raw := &rawPackage{
+			importPath: p.ImportPath,
+			dir:        p.Dir,
+			importMap:  p.ImportMap,
+			target:     !p.DepOnly && !p.Standard,
+		}
+		for _, f := range p.GoFiles {
+			raw.files = append(raw.files, filepath.Join(p.Dir, f))
+		}
+		return raw, nil
+	})
+
+	var targets []*Package
+	for _, path := range order {
+		p := listed[path]
+		if p.DepOnly || p.Standard || p.Name == "main" && p.ImportPath == "command-line-arguments" {
+			continue
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, pkg)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return targets, nil
+}
+
+// FromDir loads one package rooted at dir/src/<importPath> (the
+// analysistest-style fixture layout). Imports resolve first against
+// dir/src, then against the standard library in GOROOT.
+func FromDir(dir string, importPath string) (*Package, error) {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	l := newLoader(func(path string) (*rawPackage, error) {
+		if fixture := filepath.Join(dir, "src", filepath.FromSlash(path)); isDir(fixture) {
+			files, err := dirGoFiles(&ctx, fixture)
+			if err != nil {
+				return nil, err
+			}
+			return &rawPackage{importPath: path, dir: fixture, files: files, target: path == importPath}, nil
+		}
+		for _, root := range []string{
+			filepath.Join(ctx.GOROOT, "src", filepath.FromSlash(path)),
+			filepath.Join(ctx.GOROOT, "src", "vendor", filepath.FromSlash(path)),
+		} {
+			if isDir(root) {
+				files, err := dirGoFiles(&ctx, root)
+				if err != nil {
+					return nil, err
+				}
+				return &rawPackage{importPath: path, dir: root, files: files}, nil
+			}
+		}
+		return nil, fmt.Errorf("load: cannot resolve import %q under %s or GOROOT", path, dir)
+	})
+	return l.load(importPath)
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// dirGoFiles lists the buildable non-test Go files of dir, applying the
+// usual build constraints.
+func dirGoFiles(ctx *build.Context, dir string) ([]string, error) {
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", dir, err)
+	}
+	files := make([]string, 0, len(bp.GoFiles))
+	for _, f := range bp.GoFiles {
+		files = append(files, filepath.Join(dir, f))
+	}
+	return files, nil
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	linttest.Run(t, linttest.Testdata(t), lockio.Analyzer, "positive", "negative")
+}

@@ -1,0 +1,75 @@
+// Negative fixtures: the lock-release-before-IO patterns the real code
+// uses must produce zero findings.
+package negative
+
+import (
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// released does the IO after the critical section — the getReader shape.
+func (s *server) released(path string) []byte {
+	s.mu.Lock()
+	b, ok := s.data[path]
+	s.mu.Unlock()
+	if ok {
+		return b
+	}
+	b, _ = os.ReadFile(path)
+	return b
+}
+
+// branchRelease unlocks inside the branch before the IO; branch state is a
+// copy, so the fall-through path still counts as held.
+func (s *server) branchRelease(path string, done bool) {
+	s.mu.Lock()
+	if done {
+		s.mu.Unlock()
+		os.ReadFile(path)
+		return
+	}
+	s.data[path] = nil
+	s.mu.Unlock()
+}
+
+// lockedHelper follows the same-package *Locked convention.
+func (s *server) dropLocked(path string) {
+	delete(s.data, path)
+}
+
+func (s *server) drop(path string) {
+	s.mu.Lock()
+	s.dropLocked(path)
+	s.mu.Unlock()
+}
+
+// statAccessors calls fs.FileInfo methods under the lock: those read an
+// already-completed stat and never block.
+func (s *server) statAccessors(st os.FileInfo) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return st.Size() + st.ModTime().Unix()
+}
+
+// goroutineDoesNotInherit: the spawned goroutine runs without our locks
+// (it must synchronize on its own), so its IO is not flagged.
+func (s *server) goroutineDoesNotInherit(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		os.ReadFile(path)
+	}()
+}
+
+// suppressed documents an intentional site with a reason.
+func (s *server) suppressed(path string) {
+	s.mu.Lock()
+	//lint:ignore mrlint/lockio warm-up read of a memoized config file, never blocks after startup
+	os.ReadFile(path)
+	s.mu.Unlock()
+}

@@ -1,0 +1,198 @@
+// Package retbuf flags exported methods on hot-path types that return a
+// slice aliasing an internal reusable buffer without saying so.
+//
+// This is the PR 2 regression class: bitio.Writer.Bytes() returns the
+// writer's live buffer to avoid a copy, and a caller that held the slice
+// across the next Write saw it mutate underfoot. Zero-copy returns are
+// deliberate on the hot path, so the fix is not to forbid them but to make
+// the contract explicit: any exported method that returns memory the
+// receiver may reuse must carry a doc comment containing "aliases:"
+// describing the lifetime (e.g. "// aliases: valid until the next Write").
+//
+// The analyzer runs on the packages whose types sit on the decode/serve hot
+// path — internal/bitio, internal/huffman, internal/cache — and reports
+// exported methods whose return value is rooted in the receiver: a receiver
+// field (w.buf), a slice of one (w.buf[:n]), an append whose destination is
+// one, or a local alias of one, unless the method's doc comment contains
+// "aliases:". Returning a fresh allocation (make + copy, or append to a
+// caller-provided destination) is always fine.
+package retbuf
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "retbuf",
+	Doc: "exported methods on hot-path types must not return slices aliasing " +
+		"internal buffers unless the doc comment documents it with \"aliases:\"",
+	Run: run,
+}
+
+// hotPkgs are the packages whose exported API the rule applies to; their
+// buffers are reused across calls on the serve path.
+var hotPkgs = map[string]bool{
+	"repro/internal/bitio":   true,
+	"repro/internal/huffman": true,
+	"repro/internal/cache":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !hotPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !returnsSlice(pass, fd) {
+				continue
+			}
+			if docAliases(fd.Doc) {
+				continue
+			}
+			checkMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+// returnsSlice reports whether any result of fd is a slice type.
+func returnsSlice(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok {
+			if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// docAliases reports whether the doc comment documents the aliasing.
+func docAliases(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	return strings.Contains(doc.Text(), "aliases:")
+}
+
+// checkMethod walks fd's body in source order, tracking which locals alias
+// receiver-rooted memory, and reports returns of receiver-rooted slices.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := receiverObj(pass, fd)
+	if recv == nil {
+		return
+	}
+	aliased := map[types.Object]bool{}
+	rooted := func(e ast.Expr) bool {
+		return receiverRooted(pass, e, recv, aliased)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures escape this simple model
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if rooted(n.Rhs[i]) {
+					aliased[obj] = true
+				} else {
+					delete(aliased, obj)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if tv, ok := pass.TypesInfo.Types[res]; ok {
+					if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+						continue
+					}
+				}
+				if rooted(res) {
+					pass.Reportf(res.Pos(), "%s returns a slice aliasing an internal buffer; "+
+						"document the lifetime with an \"aliases:\" doc comment or return a copy",
+						fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// receiverObj returns the receiver variable's object, or nil for anonymous
+// receivers (which cannot leak fields by name).
+func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// receiverRooted reports whether e evaluates to memory reachable from the
+// receiver: a field selector chain rooted at the receiver, a slice or index
+// of one, an append whose destination is one, or a tracked local alias.
+func receiverRooted(pass *analysis.Pass, e ast.Expr, recv types.Object, aliased map[types.Object]bool) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false
+		}
+		return obj == recv || aliased[obj]
+	case *ast.SelectorExpr:
+		return receiverRooted(pass, e.X, recv, aliased)
+	case *ast.SliceExpr:
+		return receiverRooted(pass, e.X, recv, aliased)
+	case *ast.IndexExpr:
+		return receiverRooted(pass, e.X, recv, aliased)
+	case *ast.StarExpr:
+		return receiverRooted(pass, e.X, recv, aliased)
+	case *ast.CallExpr:
+		// append(dst, ...) may return dst's backing array when capacity
+		// suffices, so an append rooted in the receiver stays rooted.
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				return receiverRooted(pass, e.Args[0], recv, aliased)
+			}
+		}
+		// Conversions keep the backing array for slice-to-slice; treat a
+		// conversion of a rooted value as rooted.
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return receiverRooted(pass, e.Args[0], recv, aliased)
+		}
+		return false
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package retbuf_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/retbuf"
+)
+
+func TestRetbuf(t *testing.T) {
+	linttest.Run(t, linttest.Testdata(t), retbuf.Analyzer, "repro/internal/bitio", "coldpkg")
+}

@@ -1,0 +1,41 @@
+// Negative cases: documented aliasing, fresh allocations, caller-owned
+// destinations, and unexported methods all pass.
+package bitio
+
+// Finish returns the encoded stream.
+//
+// aliases: the returned slice is the writer's own buffer; the writer must
+// not be reused while the result is live.
+func (w *Writer) Finish() []byte {
+	return w.buf
+}
+
+// Copy returns a fresh allocation.
+func (w *Writer) Copy() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// AppendTo appends into a caller-provided destination; the result is rooted
+// in dst, not the receiver.
+func (w *Writer) AppendTo(dst []byte) []byte {
+	return append(dst, w.buf...)
+}
+
+// peek is unexported; the rule covers only the exported API surface.
+func (w *Writer) peek() []byte {
+	return w.buf
+}
+
+// Fresh reassigns the local away from the buffer before returning it.
+func (w *Writer) Fresh() []byte {
+	b := w.buf
+	b = make([]byte, w.n)
+	return b
+}
+
+// Count returns no slice at all.
+func (w *Writer) Count() int {
+	return w.n
+}

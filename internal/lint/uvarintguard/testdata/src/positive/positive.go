@@ -1,0 +1,73 @@
+// Positive fixtures: every pattern here reproduces a shipped bug class and
+// must be flagged.
+package positive
+
+import "encoding/binary"
+
+// direct is the PR 5 shape: convert first, validate (or not) later.
+func direct(buf []byte) []byte {
+	v, _ := binary.Uvarint(buf)
+	n := int(v) // want `converted to int without a preceding bound check`
+	_ = n
+	m := make([]byte, v) // want `used as a make\(\) size`
+	_ = m
+	return buf[:v] // want `used as a slice bound`
+}
+
+// inline converts a fresh wire read with no variable in between.
+func inline(hdr []byte) int {
+	return int(binary.LittleEndian.Uint64(hdr)) // want `converted to int`
+}
+
+// lowerBoundOnly shows that v < min does not count: it misses exactly the
+// huge values that overflow downstream products.
+func lowerBoundOnly(buf []byte) int {
+	v, _ := binary.Uvarint(buf)
+	if v < 1 {
+		return 0
+	}
+	return int(v) // want `converted to int`
+}
+
+// arithmeticNoGuard is the sz3 outlier-count bug: n*8 wraps uint64, so the
+// comparison does not bound n itself.
+func arithmeticNoGuard(buf []byte) []float64 {
+	n, _ := binary.Uvarint(buf)
+	if uint64(len(buf)) < n*8 {
+		return nil
+	}
+	return make([]float64, n) // want `used as a make\(\) size`
+}
+
+// convertThenCheck validates too late: the int conversion already happened.
+func convertThenCheck(buf []byte) int {
+	v, _ := binary.Uvarint(buf)
+	n := int(v) // want `converted to int`
+	if n > 100 {
+		return 0
+	}
+	return n
+}
+
+// readU returns the decoded value unchecked, so calls to it are sources.
+func readU(buf []byte) (uint64, []byte) {
+	v, n := binary.Uvarint(buf)
+	return v, buf[n:]
+}
+
+// viaWrapper taints through the unchecked local wrapper.
+func viaWrapper(buf []byte) int {
+	v, _ := readU(buf)
+	return int(v) // want `converted to int`
+}
+
+// viaClosure taints through an unchecked named closure.
+func viaClosure(buf []byte) uint32 {
+	read := func() uint64 {
+		v, n := binary.Uvarint(buf)
+		buf = buf[n:]
+		return v
+	}
+	v := read()
+	return uint32(v) // want `converted to uint32`
+}

@@ -1,0 +1,12 @@
+package uvarintguard_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/uvarintguard"
+)
+
+func TestUvarintguard(t *testing.T) {
+	linttest.Run(t, linttest.Testdata(t), uvarintguard.Analyzer, "positive", "negative")
+}

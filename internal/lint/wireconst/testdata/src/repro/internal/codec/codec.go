@@ -1,0 +1,13 @@
+// Package codec is a fixture stub of repro/internal/codec: the registry
+// lookup and the named wire IDs.
+package codec
+
+const (
+	SZ3ID byte = 0
+	SZ2ID byte = 1
+)
+
+// ByID looks a codec up by wire ID.
+func ByID(id byte) (any, bool) {
+	return nil, id <= SZ2ID
+}

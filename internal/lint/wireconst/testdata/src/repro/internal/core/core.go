@@ -1,0 +1,19 @@
+// Package core is a fixture stub of repro/internal/core: just the wire
+// enum types and their named constants, enough for the analyzer's
+// type-based checks to resolve.
+package core
+
+type Compressor byte
+
+type Arrangement byte
+
+const (
+	SZ3 Compressor = 0
+	SZ2 Compressor = 1
+	ZFP Compressor = 2
+)
+
+const (
+	ArrangeLinear Arrangement = 0
+	ArrangeTAC    Arrangement = 1
+)

@@ -1,0 +1,12 @@
+package wireconst_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wireconst"
+)
+
+func TestWireconst(t *testing.T) {
+	linttest.Run(t, linttest.Testdata(t), wireconst.Analyzer, "positive", "negative")
+}

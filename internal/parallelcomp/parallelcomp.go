@@ -80,40 +80,45 @@ func Decompress(blob []byte, codec Codec) (*field.Field, error) {
 		return nil, errors.New("parallelcomp: bad magic")
 	}
 	buf := blob[4:]
-	readU := func() (int, error) {
+	readU := func() (uint64, error) {
 		v, n := binary.Uvarint(buf)
 		if n <= 0 {
 			return 0, errors.New("parallelcomp: truncated header")
 		}
 		buf = buf[n:]
-		return int(v), nil
+		return v, nil
 	}
-	nx, err := readU()
+	nx64, err := readU()
 	if err != nil {
 		return nil, err
 	}
-	ny, err := readU()
+	ny64, err := readU()
 	if err != nil {
 		return nil, err
 	}
-	nz, err := readU()
+	nz64, err := readU()
 	if err != nil {
 		return nil, err
 	}
-	workers, err := readU()
+	workers64, err := readU()
 	if err != nil {
 		return nil, err
 	}
-	if nx <= 0 || ny <= 0 || nz <= 0 || workers <= 0 || workers > nz {
+	// Dimensions are validated (axes, and their product, so field.New below
+	// cannot overflow) while still uint64; the worker count is bounded by nz
+	// the same way the encoder bounds it.
+	nx, ny, nz, _, err := field.CheckDims(nx64, ny64, nz64)
+	if err != nil || workers64 == 0 || workers64 > uint64(nz) {
 		return nil, errors.New("parallelcomp: invalid header")
 	}
+	workers := int(workers64)
 	chunks := make([][]byte, workers)
 	for i := range chunks {
 		l, err := readU()
 		if err != nil {
 			return nil, err
 		}
-		if l > len(buf) {
+		if l > uint64(len(buf)) {
 			return nil, errors.New("parallelcomp: truncated chunk")
 		}
 		chunks[i] = buf[:l]

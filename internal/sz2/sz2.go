@@ -198,8 +198,8 @@ func Decompress(data []byte) (*field.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	nx, ny, nz := int(nx64), int(ny64), int(nz64)
-	if nx <= 0 || ny <= 0 || nz <= 0 || bs < 2 {
+	nx, ny, nz, _, err := field.CheckDims(nx64, ny64, nz64)
+	if err != nil || bs < 2 {
 		return nil, errors.New("sz2: invalid header")
 	}
 	if len(buf) < 8 {

@@ -200,10 +200,11 @@ func Decompress(data []byte) (*field.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	nx, ny, nz, maxLevel := int(nx64), int(ny64), int(nz64), int(maxLevel64)
-	if nx <= 0 || ny <= 0 || nz <= 0 || maxLevel <= 0 || maxLevel > 62 {
-		return nil, fmt.Errorf("sz3: invalid dims %dx%dx%d level %d", nx, ny, nz, maxLevel)
+	nx, ny, nz, _, err := field.CheckDims(nx64, ny64, nz64)
+	if err != nil || maxLevel64 == 0 || maxLevel64 > 62 {
+		return nil, fmt.Errorf("sz3: invalid dims %dx%dx%d level %d", nx64, ny64, nz64, maxLevel64)
 	}
+	maxLevel := int(maxLevel64)
 	if maxLevel != MaxLevelFor(nx, ny, nz) {
 		return nil, errors.New("sz3: inconsistent level count")
 	}
@@ -234,7 +235,9 @@ func Decompress(data []byte) (*field.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	if uint64(len(buf)) < nOut*8 {
+	// Divide instead of multiplying: nOut*8 can wrap uint64 for a hostile
+	// count and slip a huge value past the length check into make.
+	if nOut > uint64(len(buf))/8 {
 		return nil, errors.New("sz3: truncated outliers")
 	}
 	outliers := make([]float64, nOut)

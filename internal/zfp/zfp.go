@@ -149,8 +149,8 @@ func Decompress(data []byte) (*field.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	nx, ny, nz := int(nx64), int(ny64), int(nz64)
-	if nx <= 0 || ny <= 0 || nz <= 0 {
+	nx, ny, nz, _, err := field.CheckDims(nx64, ny64, nz64)
+	if err != nil {
 		return nil, errors.New("zfp: invalid dims")
 	}
 	if len(buf) < 8 {
@@ -165,8 +165,10 @@ func Decompress(data []byte) (*field.Field, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Compare in uint64: int(nBlocks64) can wrap negative for a hostile
+	// count and the conversion would hide it from the mismatch error.
 	want := blocksAlong(nx) * blocksAlong(ny) * blocksAlong(nz)
-	if int(nBlocks64) != want {
+	if nBlocks64 != uint64(want) {
 		return nil, fmt.Errorf("zfp: block count %d != %d", nBlocks64, want)
 	}
 	if len(buf) < 2*want {
@@ -174,6 +176,7 @@ func Decompress(data []byte) (*field.Field, error) {
 	}
 	emaxs := make([]int16, want)
 	for i := range emaxs {
+		//lint:ignore mrlint/uvarintguard emax is an int16 stored as its uint16 bit pattern; the conversion reinterprets, every value is in range
 		emaxs[i] = int16(binary.LittleEndian.Uint16(buf[2*i:]))
 	}
 	buf = buf[2*want:]

@@ -1,0 +1,12 @@
+// Nested module pinning the versions of the analysis tools CI installs.
+// It is a separate module so the root `go build ./...` / `go test ./...`
+// never try to resolve these (the main module stays dependency-free); CI
+// reads the versions out of this file and `go install`s each tool.
+module repro/tools
+
+go 1.22
+
+require (
+	golang.org/x/vuln v1.1.3
+	honnef.co/go/tools v0.4.7
+)

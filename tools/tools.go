@@ -1,0 +1,12 @@
+//go:build tools
+
+// Package tools records the commands CI depends on, in the standard
+// tools.go idiom: blank imports under a never-satisfied build tag keep the
+// pins in go.mod honest (`go mod tidy` inside this module would retain
+// them) without compiling anything.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
