@@ -344,6 +344,10 @@ func BenchmarkROIConvert(b *testing.B) {
 
 func BenchmarkServeExperiment(b *testing.B) { benchExperiment(b, "serve") }
 
+// The integrity experiment prices per-stream CRC verification on the read
+// path; the committed BENCH_integrity.json records the trajectory.
+func BenchmarkIntegrityExperiment(b *testing.B) { benchExperiment(b, "integrity") }
+
 func benchServeContainer(b *testing.B) (string, int) {
 	b.Helper()
 	f := synth.Generate(synth.Nyx, benchSize(), 42)

@@ -1,0 +1,244 @@
+package main
+
+// Graceful degradation: mrserve turns stream-level corruption into coarser
+// answers instead of 500s. A level whose streams fail integrity checks is
+// quarantined (a TTL'd negative cache, so a repaired or replaced container
+// gets retried without a restart), and level/slice requests fall back to the
+// coarsest intact level, flagged with an X-Degraded header so clients can
+// tell a downsampled answer from the real one. Transient faults never
+// degrade — the reader's retry layer absorbs them, and if they outlast the
+// retry budget the request fails 503 so the client retries against a
+// healthy replica instead of silently getting coarse data.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultio"
+	"repro/internal/field"
+	"repro/internal/reader"
+)
+
+// quarantine is a TTL'd negative cache of (field, level) pairs whose
+// streams failed integrity verification. Entries expire so a container
+// repaired in place is retried; entries for a field are dropped eagerly
+// when its container is replaced or re-ingested.
+type quarantine struct {
+	ttl time.Duration
+	now func() time.Time // test seam
+
+	mu  sync.Mutex
+	bad map[string]time.Time // id/level -> expiry
+}
+
+func newQuarantine(ttl time.Duration) *quarantine {
+	return &quarantine{ttl: ttl, now: time.Now, bad: make(map[string]time.Time)}
+}
+
+func qkey(id string, level int) string { return id + "/" + strconv.Itoa(level) }
+
+// add quarantines one level of a field and reports whether the entry is new
+// (false when it only refreshed an active quarantine's expiry).
+func (q *quarantine) add(id string, level int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	k := qkey(id, level)
+	exp, ok := q.bad[k]
+	q.bad[k] = q.now().Add(q.ttl)
+	return !ok || q.now().After(exp)
+}
+
+// active reports whether the level is currently quarantined, lazily
+// dropping an expired entry.
+func (q *quarantine) active(id string, level int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	k := qkey(id, level)
+	exp, ok := q.bad[k]
+	if !ok {
+		return false
+	}
+	if q.now().After(exp) {
+		delete(q.bad, k)
+		return false
+	}
+	return true
+}
+
+// forget drops every quarantine entry of a field (the container was
+// replaced; its history is meaningless).
+func (q *quarantine) forget(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for k := range q.bad {
+		if strings.HasPrefix(k, id+"/") {
+			delete(q.bad, k)
+		}
+	}
+}
+
+// activeCount returns the number of live entries, pruning expired ones.
+func (q *quarantine) activeCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	for k, exp := range q.bad {
+		if now.After(exp) {
+			delete(q.bad, k)
+		}
+	}
+	return len(q.bad)
+}
+
+// levelsFor lists the quarantined levels of one field, sorted.
+func (q *quarantine) levelsFor(id string) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	var levels []int
+	for k, exp := range q.bad {
+		rest, ok := strings.CutPrefix(k, id+"/")
+		if !ok {
+			continue
+		}
+		if now.After(exp) {
+			delete(q.bad, k)
+			continue
+		}
+		if l, err := strconv.Atoi(rest); err == nil {
+			levels = append(levels, l)
+		}
+	}
+	for i := 1; i < len(levels); i++ { // insertion sort; a handful of levels
+		for j := i; j > 0 && levels[j] < levels[j-1]; j-- {
+			levels[j], levels[j-1] = levels[j-1], levels[j]
+		}
+	}
+	return levels
+}
+
+// quarantineLevel records a corrupt level in the negative cache and counts
+// the event.
+func (s *server) quarantineLevel(id string, level int) {
+	if s.quar.add(id, level) {
+		s.metrics.quarantineEvents.Add(1)
+	}
+}
+
+// degradedHeader is the X-Degraded value: machine-parseable key=value
+// pairs naming what was asked for, what was served, and why.
+func degradedHeader(requested, served int, reason string) string {
+	return fmt.Sprintf("requested-level=%d; served-level=%d; reason=%s", requested, served, reason)
+}
+
+// readLevelDegraded reads level l of a field, falling back level by level
+// toward the coarsest when the requested one is quarantined or turns out
+// corrupt. It returns the field, the level actually served, and the
+// degradation reason ("" when the requested level was served intact).
+// Non-corrupt errors — context cancellation, transient faults that
+// outlasted the retry budget, missing files — abort the walk: degradation
+// is a remedy for bad bytes, not for an unreachable backend.
+func (s *server) readLevelDegraded(ctx context.Context, rd *reader.FileReader, id string, l int) (*field.Field, int, string, error) {
+	reason := ""
+	var lastErr error
+	for lv := l; lv < rd.NumLevels(); lv++ {
+		if s.quar.active(id, lv) {
+			if reason == "" {
+				reason = "quarantined"
+			}
+			continue
+		}
+		f, err := rd.ReadLevelCtx(ctx, lv)
+		if err == nil {
+			return f, lv, reason, nil
+		}
+		if ctx.Err() != nil || !faultio.IsCorrupt(err) {
+			return nil, lv, "", err
+		}
+		s.quarantineLevel(id, lv)
+		reason = "corrupt"
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = faultio.Corruptf("field %s: levels %d..%d all quarantined", id, l, rd.NumLevels()-1)
+	}
+	return nil, -1, "", lastErr
+}
+
+// readSliceDegraded is readLevelDegraded for plane extraction: on fallback
+// the plane index is rescaled to the coarser grid (k >> levels dropped,
+// clamped), so the served slice covers the same physical cut.
+func (s *server) readSliceDegraded(ctx context.Context, rd *reader.FileReader, id string, axis reader.Axis, k, l int) (*field.Field, int, int, string, error) {
+	reason := ""
+	var lastErr error
+	for lv := l; lv < rd.NumLevels(); lv++ {
+		if s.quar.active(id, lv) {
+			if reason == "" {
+				reason = "quarantined"
+			}
+			continue
+		}
+		kk := k >> uint(lv-l)
+		nx, ny, nz := rd.Index().LevelDims(lv)
+		if dim := []int{nx, ny, nz}[axis]; kk >= dim {
+			kk = dim - 1
+		}
+		f, err := rd.ReadSliceCtx(ctx, axis, kk, lv)
+		if err == nil {
+			return f, lv, kk, reason, nil
+		}
+		if ctx.Err() != nil || !faultio.IsCorrupt(err) {
+			return nil, lv, kk, "", err
+		}
+		s.quarantineLevel(id, lv)
+		reason = "corrupt"
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = faultio.Corruptf("field %s: levels %d..%d all quarantined", id, l, rd.NumLevels()-1)
+	}
+	return nil, -1, -1, "", lastErr
+}
+
+// parseFaultPlan parses the -fault-inject spec: comma-separated key=value
+// pairs (seed, transient, bitflip, shortread, latency, maxfaults), e.g.
+// "seed=7,transient=0.05,maxfaults=100". Used by the fault-injected smoke
+// test in CI and for resilience drills against a staging instance.
+func parseFaultPlan(spec string) (faultio.FaultPlan, error) {
+	plan := faultio.FaultPlan{Seed: 1}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return plan, fmt.Errorf("fault spec %q: want key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			plan.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "transient":
+			plan.TransientProb, err = strconv.ParseFloat(val, 64)
+		case "bitflip":
+			plan.BitFlipProb, err = strconv.ParseFloat(val, 64)
+		case "shortread":
+			plan.ShortReadProb, err = strconv.ParseFloat(val, 64)
+		case "latency":
+			plan.Latency, err = time.ParseDuration(val)
+		case "maxfaults":
+			plan.MaxFaults, err = strconv.Atoi(val)
+		default:
+			return plan, fmt.Errorf("fault spec: unknown key %q", key)
+		}
+		if err != nil {
+			return plan, fmt.Errorf("fault spec %q: %v", kv, err)
+		}
+	}
+	return plan, nil
+}

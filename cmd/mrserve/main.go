@@ -34,14 +34,27 @@
 // takes effect on the next request: every lookup stat-revalidates the open
 // reader against the file on disk, and a replaced field's reader, listing
 // summary, and cached bricks are dropped together.
+//
+// Corruption degrades instead of failing: every stream read is verified
+// against the container's per-stream checksum, a corrupt level is
+// quarantined for -quarantine-ttl, and level/slice requests fall back to
+// the coarsest intact level with an X-Degraded header. Transient I/O faults
+// are retried; exhausted retries answer 503. /healthz and /metrics expose
+// per-field corruption, quarantine, and retry counters. Stale write
+// temporaries (crash residue from an interrupted ingest) are swept at
+// startup and every -sweep-interval.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
+
+	"repro/internal/faultio"
+	"repro/internal/reader"
 )
 
 func main() {
@@ -51,12 +64,30 @@ func main() {
 		cacheMB     = flag.Int64("cache-mb", 256, "brick cache budget in MiB (0 disables caching)")
 		shards      = flag.Int("cache-shards", 16, "brick cache shard count")
 		maxIngestMB = flag.Int64("max-ingest-mb", 1024, "largest raw field accepted by PUT ingest, in MiB")
+		quarTTL     = flag.Duration("quarantine-ttl", defaultQuarantineTTL, "how long a corrupt level is skipped before being probed again")
+		sweepEvery  = flag.Duration("sweep-interval", 10*time.Minute, "period between crash-residue sweeps of the data directory (0 disables)")
+		faultSpec   = flag.String("fault-inject", "", `inject deterministic read faults for resilience drills, e.g. "seed=7,transient=0.05,maxfaults=100" (testing only)`)
 	)
 	flag.Parse()
 
 	s, err := newServer(*dir, *cacheMB<<20, *maxIngestMB<<20, *shards)
 	if err != nil {
 		fatal(err)
+	}
+	s.quar.ttl = *quarTTL
+	if *faultSpec != "" {
+		plan, err := parseFaultPlan(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mrserve: WARNING: injecting faults into every container read (%s)\n", *faultSpec)
+		s.readerOpts = append(s.readerOpts, reader.WithSourceWrap(func(src io.ReaderAt) io.ReaderAt {
+			return faultio.NewFaultReaderAt(src, plan)
+		}))
+	}
+	s.sweepTemps()
+	if *sweepEvery > 0 {
+		go s.sweepLoop(*sweepEvery, make(chan struct{}))
 	}
 	ids, err := s.fieldIDs()
 	if err != nil {

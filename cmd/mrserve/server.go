@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,8 +20,10 @@ import (
 	"repro"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/faultio"
 	"repro/internal/field"
 	"repro/internal/reader"
+	"repro/internal/writer"
 )
 
 // server serves a directory of .mrw containers over HTTP. Containers are
@@ -34,6 +37,12 @@ type server struct {
 	dir            string
 	cache          *cache.Cache
 	maxIngestBytes int64
+	// quar is the corruption negative cache: levels whose streams failed
+	// integrity checks, skipped by the degraded read path until they expire.
+	quar *quarantine
+	// readerOpts is appended to every reader open — the fault-injection and
+	// policy seam (-fault-inject, tests).
+	readerOpts []reader.Option
 
 	mu      sync.Mutex
 	readers map[string]*readerEntry
@@ -44,6 +53,10 @@ type server struct {
 
 	metrics metricsRegistry
 }
+
+// defaultQuarantineTTL bounds how long a corrupt level is written off
+// before it is probed again (-quarantine-ttl overrides).
+const defaultQuarantineTTL = time.Minute
 
 // cachedSummary is a listing entry plus the file identity it was computed
 // from.
@@ -106,6 +119,7 @@ func newServer(dir string, cacheBytes, maxIngestBytes int64, shards int) (*serve
 		dir:            dir,
 		cache:          cache.New(cacheBytes, shards),
 		maxIngestBytes: maxIngestBytes,
+		quar:           newQuarantine(defaultQuarantineTTL),
 		readers:        make(map[string]*readerEntry),
 		summaries:      make(map[string]cachedSummary),
 		metrics:        newMetricsRegistry(),
@@ -206,7 +220,8 @@ func (s *server) getReader(id string) (*reader.FileReader, func(), error) {
 		e.release() // the request's reference on the stale entry
 	}
 	e.once.Do(func() {
-		r, err := reader.OpenFile(path, reader.WithCache(s.cache), reader.WithCacheKey(id))
+		opts := append([]reader.Option{reader.WithCache(s.cache), reader.WithCacheKey(id)}, s.readerOpts...)
+		r, err := reader.OpenFile(path, opts...)
 		var size int64
 		var modTime time.Time
 		if err == nil {
@@ -246,6 +261,9 @@ func (s *server) dropFieldLocked(id string) {
 	}
 	delete(s.summaries, id)
 	s.cache.InvalidatePrefix(id + "/")
+	// A replaced container invalidates the field's corruption history too:
+	// the new bytes deserve a fresh chance at every level.
+	s.quar.forget(id)
 }
 
 // invalidateField is dropFieldLocked behind the server mutex (the ingest
@@ -258,13 +276,24 @@ func (s *server) invalidateField(id string) {
 
 var errBadID = fmt.Errorf("invalid field id")
 
-// httpError maps a reader/lookup error to a status code.
+// httpError maps a reader/lookup error to a status code. Fault classes map
+// to distinct statuses so clients and probes can react correctly: transient
+// faults that outlasted the retry budget are 503 (retry elsewhere/later),
+// corruption with no intact fallback is 500 with an explicit message, and a
+// canceled request context gets nginx's conventional 499 (the client is
+// gone; the code is for the access log, not the wire).
 func (s *server) httpError(w http.ResponseWriter, err error) {
 	switch {
 	case err == errBadID:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	case os.IsNotExist(err):
 		http.Error(w, "unknown field", http.StatusNotFound)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "client canceled request", 499)
+	case faultio.IsTransient(err):
+		http.Error(w, "transient backend fault (retries exhausted): "+err.Error(), http.StatusServiceUnavailable)
+	case faultio.IsCorrupt(err):
+		http.Error(w, "corrupt container data: "+err.Error(), http.StatusInternalServerError)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -293,9 +322,48 @@ func writeField(w http.ResponseWriter, r *http.Request, f *field.Field) {
 	f.WriteTo(w)
 }
 
+// fieldHealth is the per-field block of /healthz: the integrity and
+// resilience counters of one open container.
+type fieldHealth struct {
+	Retries           int64 `json:"read_retries"`
+	CorruptStreams    int64 `json:"corrupt_streams"`
+	QuarantinedLevels []int `json:"quarantined_levels,omitempty"`
+}
+
+// handleHealthz reports liveness plus the resilience picture: per-field
+// retry/corruption counters and quarantined levels, and the process-wide
+// totals. The body always contains the substring "ok" in the status field —
+// the deploy smoke greps for it.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	var retries, corrupt int64
+	fields := make(map[string]fieldHealth)
+	s.mu.Lock()
+	for id, e := range s.readers {
+		if e.r == nil {
+			continue // open in flight or failed
+		}
+		//lint:ignore mrlint/lockio Stats only loads atomic counters, it cannot block or re-enter the registry
+		st := e.r.Stats()
+		retries += st.Retries
+		corrupt += st.CorruptStreams
+		fields[id] = fieldHealth{
+			Retries:           st.Retries,
+			CorruptStreams:    st.CorruptStreams,
+			QuarantinedLevels: s.quar.levelsFor(id),
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"status":             "ok",
+		"fields_open":        len(fields),
+		"quarantined_levels": s.quar.activeCount(),
+		"quarantine_events":  s.metrics.quarantineEvents.Load(),
+		"degraded_responses": s.metrics.degradedTotal(),
+		"read_retries":       retries,
+		"corrupt_streams":    corrupt,
+		"decode_panics":      s.metrics.panics.Load(),
+		"fields":             fields,
+	})
 }
 
 // fieldSummary is one entry of GET /v1/fields.
@@ -448,12 +516,17 @@ func (s *server) handleLevel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown level", http.StatusNotFound)
 		return
 	}
-	f, err := rd.ReadLevel(l)
+	id := r.PathValue("id")
+	f, served, reason, err := s.readLevelDegraded(r.Context(), rd, id, l)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.httpError(w, err)
 		return
 	}
-	w.Header().Set("X-Mrw-Level", strconv.Itoa(l))
+	if reason != "" {
+		w.Header().Set("X-Degraded", degradedHeader(l, served, reason))
+		s.metrics.degraded["level"].Add(1)
+	}
+	w.Header().Set("X-Mrw-Level", strconv.Itoa(served))
 	writeField(w, r, f)
 }
 
@@ -495,16 +568,21 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("k out of range [0,%d)", dim), http.StatusBadRequest)
 		return
 	}
-	f, err := rd.ReadSlice(axis, k, l)
+	// Parameters were validated above; what remains is a server-side decode
+	// or I/O fault, handled by the degraded read path.
+	id := r.PathValue("id")
+	f, served, servedK, reason, err := s.readSliceDegraded(r.Context(), rd, id, axis, k, l)
 	if err != nil {
-		// Parameters were validated above; what remains is a server-side
-		// decode or I/O fault.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.httpError(w, err)
 		return
 	}
-	w.Header().Set("X-Mrw-Level", strconv.Itoa(l))
+	if reason != "" {
+		w.Header().Set("X-Degraded", degradedHeader(l, served, reason))
+		s.metrics.degraded["slice"].Add(1)
+	}
+	w.Header().Set("X-Mrw-Level", strconv.Itoa(served))
 	w.Header().Set("X-Mrw-Axis", axis.String())
-	w.Header().Set("X-Mrw-K", strconv.Itoa(k))
+	w.Header().Set("X-Mrw-K", strconv.Itoa(servedK))
 	writeField(w, r, f)
 }
 
@@ -639,20 +717,45 @@ type metricsRegistry struct {
 	requests  map[string]*atomic.Int64
 	errors    map[string]*atomic.Int64
 	latencyNs map[string]*atomic.Int64
+	// degraded counts responses served from a coarser level than requested
+	// (X-Degraded set), by endpoint.
+	degraded map[string]*atomic.Int64
+	// quarantineEvents counts levels newly quarantined after failing
+	// integrity checks.
+	quarantineEvents *atomic.Int64
+	// panics counts handler panics converted to 500s by instrument.
+	panics *atomic.Int64
+	// tempsSwept counts stale AtomicFile temporaries removed from the data
+	// directory (crash residue).
+	tempsSwept *atomic.Int64
 }
 
 func newMetricsRegistry() metricsRegistry {
 	m := metricsRegistry{
-		requests:  make(map[string]*atomic.Int64),
-		errors:    make(map[string]*atomic.Int64),
-		latencyNs: make(map[string]*atomic.Int64),
+		requests:         make(map[string]*atomic.Int64),
+		errors:           make(map[string]*atomic.Int64),
+		latencyNs:        make(map[string]*atomic.Int64),
+		degraded:         make(map[string]*atomic.Int64),
+		quarantineEvents: new(atomic.Int64),
+		panics:           new(atomic.Int64),
+		tempsSwept:       new(atomic.Int64),
 	}
 	for _, e := range endpoints {
 		m.requests[e] = new(atomic.Int64)
 		m.errors[e] = new(atomic.Int64)
 		m.latencyNs[e] = new(atomic.Int64)
+		m.degraded[e] = new(atomic.Int64)
 	}
 	return m
+}
+
+// degradedTotal sums degraded responses across endpoints.
+func (m *metricsRegistry) degradedTotal() int64 {
+	var n int64
+	for _, e := range endpoints {
+		n += m.degraded[e].Load()
+	}
+	return n
 }
 
 // statusRecorder captures the response code for the error counter.
@@ -666,17 +769,30 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request, error, and latency counters.
+// instrument wraps a handler with request, error, and latency counters,
+// and converts a handler panic into a counted 500 instead of tearing down
+// the connection. Decode panics are already recovered at the core layer;
+// this is the last line of defense for everything else, so one poisoned
+// request can never take a worker goroutine down with stacked state.
 func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Add(1)
+				rec.status = http.StatusInternalServerError
+				// If the handler already wrote headers this is a no-op on
+				// the wire; the counters still record the failure.
+				http.Error(rec, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+			}
+			s.metrics.requests[name].Add(1)
+			s.metrics.latencyNs[name].Add(time.Since(start).Nanoseconds())
+			if rec.status >= 400 {
+				s.metrics.errors[name].Add(1)
+			}
+		}()
 		h(rec, r)
-		s.metrics.requests[name].Add(1)
-		s.metrics.latencyNs[name].Add(time.Since(start).Nanoseconds())
-		if rec.status >= 400 {
-			s.metrics.errors[name].Add(1)
-		}
 	}
 }
 
@@ -720,20 +836,25 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE mrserve_cache_entries gauge\n")
 	p("mrserve_cache_entries %d\n", cst.Entries)
 
-	var decodes, bytesRead int64
-	open := 0
+	var decodes, bytesRead, retries, corrupt int64
+	perField := make(map[string]reader.Stats)
+	ids := make([]string, 0)
 	s.mu.Lock()
-	for _, e := range s.readers {
+	for id, e := range s.readers {
 		if e.r == nil {
 			continue // open in flight or failed
 		}
-		open++
 		//lint:ignore mrlint/lockio Stats only loads atomic counters, it cannot block or re-enter the registry
 		st := e.r.Stats()
 		decodes += st.BackendDecodes
 		bytesRead += st.BytesRead
+		retries += st.Retries
+		corrupt += st.CorruptStreams
+		perField[id] = st
+		ids = append(ids, id)
 	}
 	s.mu.Unlock()
+	sort.Strings(ids)
 	p("# HELP mrserve_backend_decodes_total Compressed streams decoded across all open fields.\n")
 	p("# TYPE mrserve_backend_decodes_total counter\n")
 	p("mrserve_backend_decodes_total %d\n", decodes)
@@ -742,5 +863,71 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("mrserve_compressed_bytes_read_total %d\n", bytesRead)
 	p("# HELP mrserve_fields_open Containers currently held open.\n")
 	p("# TYPE mrserve_fields_open gauge\n")
-	p("mrserve_fields_open %d\n", open)
+	p("mrserve_fields_open %d\n", len(ids))
+
+	// Resilience counters: the corruption/retry story per field and overall.
+	p("# HELP mrserve_read_retries_total Source reads retried after transient faults.\n")
+	p("# TYPE mrserve_read_retries_total counter\n")
+	p("mrserve_read_retries_total %d\n", retries)
+	p("# HELP mrserve_corrupt_streams_total Streams that failed integrity verification.\n")
+	p("# TYPE mrserve_corrupt_streams_total counter\n")
+	p("mrserve_corrupt_streams_total %d\n", corrupt)
+	p("# HELP mrserve_field_read_retries_total Retried source reads, by open field.\n")
+	p("# TYPE mrserve_field_read_retries_total counter\n")
+	for _, id := range ids {
+		p("mrserve_field_read_retries_total{field=%q} %d\n", id, perField[id].Retries)
+	}
+	p("# HELP mrserve_field_corrupt_streams_total Integrity failures, by open field.\n")
+	p("# TYPE mrserve_field_corrupt_streams_total counter\n")
+	for _, id := range ids {
+		p("mrserve_field_corrupt_streams_total{field=%q} %d\n", id, perField[id].CorruptStreams)
+	}
+	p("# HELP mrserve_degraded_responses_total Responses served from a coarser level than requested, by endpoint.\n")
+	p("# TYPE mrserve_degraded_responses_total counter\n")
+	for _, e := range endpoints {
+		p("mrserve_degraded_responses_total{endpoint=%q} %d\n", e, s.metrics.degraded[e].Load())
+	}
+	p("# HELP mrserve_quarantine_events_total Levels newly quarantined after integrity failures.\n")
+	p("# TYPE mrserve_quarantine_events_total counter\n")
+	p("mrserve_quarantine_events_total %d\n", s.metrics.quarantineEvents.Load())
+	p("# HELP mrserve_quarantined_levels Levels currently quarantined.\n")
+	p("# TYPE mrserve_quarantined_levels gauge\n")
+	p("mrserve_quarantined_levels %d\n", s.quar.activeCount())
+	p("# HELP mrserve_handler_panics_total Handler panics converted to 500s.\n")
+	p("# TYPE mrserve_handler_panics_total counter\n")
+	p("mrserve_handler_panics_total %d\n", s.metrics.panics.Load())
+	p("# HELP mrserve_temps_swept_total Stale write temporaries removed from the data directory.\n")
+	p("# TYPE mrserve_temps_swept_total counter\n")
+	p("mrserve_temps_swept_total %d\n", s.metrics.tempsSwept.Load())
+}
+
+// --- crash-residue sweep ----------------------------------------------------
+
+// staleTempAge is how old an AtomicFile temporary must be before the sweep
+// treats it as crash residue rather than a write in flight. Generously past
+// the server's write timeouts, so a live ingest can never lose its file.
+const staleTempAge = time.Hour
+
+// sweepTemps removes stale AtomicFile temporaries (crash residue) from the
+// data directory.
+func (s *server) sweepTemps() {
+	n, err := writer.SweepTemps(s.dir, staleTempAge)
+	if err == nil && n > 0 {
+		s.metrics.tempsSwept.Add(int64(n))
+	}
+}
+
+// sweepLoop runs sweepTemps every interval until stop is closed. Started
+// from main; a sweep also runs once at startup before serving.
+func (s *server) sweepLoop(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sweepTemps()
+		case <-stop:
+			return
+		}
+	}
 }

@@ -208,3 +208,72 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatal("no operations recorded")
 	}
 }
+
+// TestConcurrentInvalidation races Remove and InvalidatePrefix against
+// Get/Put traffic — the serving pattern where ingest invalidates a field's
+// bricks while requests for it (and for other fields) are in flight. Run
+// under -race this is the invalidation-path concurrency proof; the final
+// assertions check that the byte/entry accounting survives the storm.
+func TestConcurrentInvalidation(t *testing.T) {
+	c := New(1<<16, 8)
+	fields := []string{"a", "b", "c", "d"}
+
+	var traffic sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		traffic.Add(1)
+		go func(g int) {
+			defer traffic.Done()
+			for i := 0; i < 3000; i++ {
+				key := fmt.Sprintf("%s/brick%d", fields[(g+i)%len(fields)], i%50)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, i, int64(64+i%256))
+				}
+			}
+		}(g)
+	}
+
+	stop := make(chan struct{})
+	var invalidators sync.WaitGroup
+	invalidators.Add(2)
+	go func() {
+		defer invalidators.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.InvalidatePrefix(fields[i%len(fields)] + "/")
+			}
+		}
+	}()
+	go func() {
+		defer invalidators.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Remove(fmt.Sprintf("%s/brick%d", fields[i%len(fields)], i%50))
+			}
+		}
+	}()
+
+	traffic.Wait()
+	close(stop)
+	invalidators.Wait()
+
+	st := c.Stats()
+	if st.Bytes < 0 || st.Bytes > st.Budget {
+		t.Fatalf("byte accounting broken under concurrent invalidation: %d (budget %d)", st.Bytes, st.Budget)
+	}
+	if st.Entries < 0 {
+		t.Fatalf("negative entry count: %d", st.Entries)
+	}
+	// A final full wipe must leave the cache exactly empty.
+	for _, f := range fields {
+		c.InvalidatePrefix(f + "/")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("post-wipe residue: %d entries, %d bytes", st.Entries, st.Bytes)
+	}
+}

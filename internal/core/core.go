@@ -21,10 +21,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"strings"
 
 	"repro/internal/codec"
+	"repro/internal/faultio"
 	"repro/internal/field"
 	"repro/internal/grid"
 	"repro/internal/index"
@@ -305,11 +307,21 @@ func compressField(f *field.Field, opt Options, c Compressor) ([]byte, error) {
 	return cd.Compress(f, opt.params())
 }
 
-func decompressField(data []byte, c Compressor) (*field.Field, error) {
+func decompressField(data []byte, c Compressor) (f *field.Field, err error) {
 	cd, ok := codec.ByID(byte(c))
 	if !ok {
 		return nil, fmt.Errorf("core: %w", codec.ErrUnknownID(byte(c)))
 	}
+	// Corrupt input can drive a codec into an out-of-range panic before its
+	// own validation notices the damage; convert that to a typed Corrupt
+	// error here — the one dispatch point every decode path funnels through
+	// — so a single bad stream cannot take down a serving process (worker
+	// pools do not recover panics in their goroutines).
+	defer func() {
+		if r := recover(); r != nil {
+			f, err = nil, faultio.Corrupt(fmt.Errorf("core: %s decode panicked: %v", cd.Name(), r))
+		}
+	}()
 	return cd.Decompress(data)
 }
 
@@ -350,15 +362,20 @@ func (p *Prepared) jobs() []compressJob {
 	return jobs
 }
 
+// streamErr annotates a stream-scoped error with its level (and TAC box).
+func streamErr(level, box int, err error) error {
+	if box >= 0 {
+		return fmt.Errorf("core: level %d box %d: %w", level, box, err)
+	}
+	return fmt.Errorf("core: level %d: %w", level, err)
+}
+
 // compressStream dispatches one job to its codec with level/box error
 // context (shared by the monolithic and streaming write paths).
 func (p *Prepared) compressStream(j compressJob) ([]byte, error) {
 	s, err := compressField(j.f, p.opt, j.codec)
 	if err != nil {
-		if j.box >= 0 {
-			return nil, fmt.Errorf("core: level %d box %d: %w", j.level, j.box, err)
-		}
-		return nil, fmt.Errorf("core: level %d: %w", j.level, err)
+		return nil, streamErr(j.level, j.box, err)
 	}
 	return s, nil
 }
@@ -881,11 +898,12 @@ func BuildIndex(blob []byte) (*index.Index, error) {
 		return nil, err
 	}
 	ix := &index.Index{
-		Opts:   indexOpts(c.opt),
-		Nx:     h.Nx,
-		Ny:     h.Ny,
-		Nz:     h.Nz,
-		BlockB: h.BlockB,
+		Opts:       indexOpts(c.opt),
+		Nx:         h.Nx,
+		Ny:         h.Ny,
+		Nz:         h.Nz,
+		BlockB:     h.BlockB,
+		StreamCRCs: true,
 	}
 	for li, dl := range c.levels {
 		u := h.UnitBlockSize(li)
@@ -894,6 +912,7 @@ func BuildIndex(blob []byte) (*index.Index, error) {
 			st := index.Stream{
 				Level: li, Box: -1, Compressor: byte(dl.codecs[si]),
 				Offset: dl.offsets[si], Len: int64(len(s)),
+				CRC: crc32.ChecksumIEEE(s),
 			}
 			if c.opt.Arrangement == ArrangeTAC {
 				st.Box = si
@@ -931,11 +950,33 @@ func mergedRawLen(a Arrangement, u, k int, padded bool) int64 {
 	}
 }
 
+// footerStreamCRCs parses an in-memory container's index footer and, when it
+// carries per-stream checksums, returns an offset→CRC map for payload
+// verification. Containers without a footer (v1/v2, or a truncated v3 body)
+// and version-1 footers return nil: verification unavailable, not an error —
+// the sequential decoder must keep decoding footerless bodies.
+func footerStreamCRCs(blob []byte) map[int64]uint32 {
+	body, ok := index.Locate(blob)
+	if !ok {
+		return nil
+	}
+	ix, err := index.Parse(blob[body:len(blob)-index.TrailerLen], int64(len(blob)))
+	if err != nil || !ix.StreamCRCs {
+		return nil
+	}
+	m := make(map[int64]uint32, len(ix.Streams))
+	for _, s := range ix.Streams {
+		m[s.Offset] = s.CRC
+	}
+	return m
+}
+
 func decompressImpl(blob []byte, post postHook, workers int) (*grid.Hierarchy, error) {
 	c, h, err := parseContainer(blob)
 	if err != nil {
 		return nil, err
 	}
+	crcs := footerStreamCRCs(blob)
 	opt := c.opt
 	if workers == 0 {
 		workers = parallel.Workers()
@@ -955,30 +996,31 @@ func decompressImpl(blob []byte, post postHook, workers int) (*grid.Hierarchy, e
 		level, box int
 		codec      Compressor
 		stream     []byte
+		offset     int64
 	}
 	var jobs []decodeJob
 	for li := range c.levels {
 		dl := &c.levels[li]
 		if opt.Arrangement == ArrangeTAC {
 			for bi := range dl.streams {
-				jobs = append(jobs, decodeJob{li, bi, dl.codecs[bi], dl.streams[bi]})
+				jobs = append(jobs, decodeJob{li, bi, dl.codecs[bi], dl.streams[bi], dl.offsets[bi]})
 			}
 			continue
 		}
 		if len(dl.streams) == 1 {
-			jobs = append(jobs, decodeJob{li, -1, dl.codecs[0], dl.streams[0]})
+			jobs = append(jobs, decodeJob{li, -1, dl.codecs[0], dl.streams[0], dl.offsets[0]})
 		}
 	}
 	for start := 0; start < len(jobs); start += workers {
 		end := min(start+workers, len(jobs))
 		wave, err := parallel.MapErrWorkers(end-start, workers, func(i int) (*field.Field, error) {
 			j := jobs[start+i]
+			if want, ok := crcs[j.offset]; ok && crc32.ChecksumIEEE(j.stream) != want {
+				return nil, faultio.Corrupt(streamErr(j.level, j.box, errors.New("stream checksum mismatch")))
+			}
 			f, err := decompressField(j.stream, j.codec)
 			if err != nil {
-				if j.box >= 0 {
-					return nil, fmt.Errorf("core: level %d box %d: %w", j.level, j.box, err)
-				}
-				return nil, fmt.Errorf("core: level %d: %w", j.level, err)
+				return nil, streamErr(j.level, j.box, err)
 			}
 			if j.box < 0 && c.levels[j.level].padded {
 				f = layout.UnpadXY(f)

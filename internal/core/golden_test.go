@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"flag"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -46,9 +47,12 @@ var goldenCases = []struct {
 	}},
 }
 
-// TestGoldenContainer locks the full container formats — header layout,
-// every per-stream backend payload, per-stream codec bytes (v4), and the
-// index footer — byte-for-byte for every committed fixture.
+// TestGoldenContainer locks the container bodies — header layout, every
+// per-stream backend payload, per-stream codec bytes (v4) — byte-for-byte
+// against every committed fixture, and pins the footer transition: the
+// writer emits the checked footer (per-stream CRCs) over an unchanged body,
+// while the committed fixtures' original footers must keep parsing — with
+// verification reported unavailable — and decoding.
 func TestGoldenContainer(t *testing.T) {
 	h, eb := goldenHierarchy(t)
 	for _, gc := range goldenCases {
@@ -70,11 +74,50 @@ func TestGoldenContainer(t *testing.T) {
 			if err != nil {
 				t.Fatalf("read fixture (regenerate with -update): %v", err)
 			}
-			if !bytes.Equal(c.Blob, want) {
-				t.Fatalf("container diverged from golden fixture: got %d bytes, fixture %d bytes", len(c.Blob), len(want))
+			gotBody, ok := index.Locate(c.Blob)
+			if !ok {
+				t.Fatal("written container has no index footer")
 			}
+			wantBody, ok := index.Locate(want)
+			if !ok {
+				t.Fatal("fixture has no index footer")
+			}
+			if !bytes.Equal(c.Blob[:gotBody], want[:wantBody]) {
+				t.Fatalf("container body diverged from golden fixture: got %d bytes, fixture %d bytes", gotBody, wantBody)
+			}
+			// The freshly written footer carries per-stream checksums that
+			// match the payload bytes it indexes.
+			gotIx, err := index.ReadFrom(bytes.NewReader(c.Blob), int64(len(c.Blob)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gotIx.StreamCRCs {
+				t.Fatal("written footer carries no stream CRCs")
+			}
+			for i, s := range gotIx.Streams {
+				if crc32.ChecksumIEEE(c.Blob[s.Offset:s.Offset+s.Len]) != s.CRC {
+					t.Fatalf("stream %d: footer CRC does not match payload bytes", i)
+				}
+			}
+			// The fixture's original footer still parses, reports
+			// verification unavailable, and locates the same streams.
+			wantIx, err := index.ReadFrom(bytes.NewReader(want), int64(len(want)))
+			if err != nil {
+				t.Fatalf("parse fixture footer: %v", err)
+			}
+			if wantIx.StreamCRCs {
+				t.Fatal("committed fixture footer unexpectedly reports stream CRCs")
+			}
+			if len(wantIx.Streams) != len(gotIx.Streams) {
+				t.Fatalf("fixture indexes %d streams, writer %d", len(wantIx.Streams), len(gotIx.Streams))
+			}
+			// Both generations decode: the fixture without verification, the
+			// new container through the CRC-verifying path.
 			if _, err := Decompress(want); err != nil {
 				t.Fatalf("decode fixture: %v", err)
+			}
+			if _, err := Decompress(c.Blob); err != nil {
+				t.Fatalf("decode verified container: %v", err)
 			}
 		})
 	}

@@ -8,6 +8,7 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -85,11 +86,12 @@ func (p *Prepared) writeContainer(ww *wireWriter, streamAt func(int) ([]byte, er
 	nby := p.ny / p.blockB
 	levelBytes := make([]int, len(p.levels))
 	ix := &index.Index{
-		Opts:   indexOpts(o),
-		Nx:     p.nx,
-		Ny:     p.ny,
-		Nz:     p.nz,
-		BlockB: p.blockB,
+		Opts:       indexOpts(o),
+		Nx:         p.nx,
+		Ny:         p.ny,
+		Nz:         p.nz,
+		BlockB:     p.blockB,
+		StreamCRCs: true,
 	}
 	next := 0
 	emitStream := func(li, box int, geom layout.Box, rawLen int) error {
@@ -111,6 +113,7 @@ func (p *Prepared) writeContainer(ww *wireWriter, streamAt func(int) ([]byte, er
 		ix.Streams = append(ix.Streams, index.Stream{
 			Level: li, Box: box, Geom: geom, Compressor: byte(sc),
 			Offset: ww.n, Len: int64(len(s)), RawLen: int64(rawLen),
+			CRC: crc32.ChecksumIEEE(s),
 		})
 		ww.write(s)
 		levelBytes[li] += len(s)

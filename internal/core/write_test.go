@@ -84,10 +84,11 @@ func TestCompressToMatchesCompress(t *testing.T) {
 }
 
 // TestCompressToMatchesGoldenFixtures locks the streaming writer against
-// the committed fixtures directly: it must reproduce the v3 fixture
-// byte-for-byte, and its body (version byte rewritten, footer stripped)
-// must be the committed v2 fixture — the same identities the monolithic
-// path is held to.
+// the committed fixtures directly: it must reproduce the v3 fixture's body
+// byte-for-byte, and that body (version byte rewritten) must be the
+// committed v2 fixture — the same identities the monolithic path is held
+// to. (Footers are compared semantically in TestGoldenContainer: the
+// writer now emits the checked footer version over the unchanged body.)
 func TestCompressToMatchesGoldenFixtures(t *testing.T) {
 	h, eb := goldenHierarchy(t)
 	p, err := Prepare(h, TACSZ3Options(eb))
@@ -102,8 +103,16 @@ func TestCompressToMatchesGoldenFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(buf.Bytes(), v3) {
-		t.Fatalf("streamed container diverged from the v3 golden fixture (%d vs %d bytes)", buf.Len(), len(v3))
+	fixtureBody, ok := index.Locate(v3)
+	if !ok {
+		t.Fatal("v3 fixture has no index footer")
+	}
+	gotBody, ok := index.Locate(buf.Bytes())
+	if !ok {
+		t.Fatal("streamed container has no index footer")
+	}
+	if !bytes.Equal(buf.Bytes()[:gotBody], v3[:fixtureBody]) {
+		t.Fatalf("streamed body diverged from the v3 golden fixture (%d vs %d bytes)", gotBody, fixtureBody)
 	}
 	v2, err := os.ReadFile(filepath.Join("testdata", "golden-tac-sz3.mrc"))
 	if err != nil {

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/reader"
+	"repro/internal/synth"
+)
+
+// IntegrityBench prices end-to-end integrity on the read path: the same
+// Size³ container read through the random-access reader with per-stream
+// CRC verification on (the default) and off. Two context rows bound the
+// numbers from below: a raw crc32 pass over the whole container (the pure
+// checksum cost, no decode) and a full Verify scrub (what the periodic
+// integrity pass costs). The headline number is verify_overhead_pct — the
+// crc32 pass priced against an unverified read-all; the CRC is computed
+// over compressed bytes, which the codecs then spend orders of magnitude
+// longer decoding, so the target is well under low single digits. The
+// direct A/B delta is reported too, but on a shared machine it is bounded
+// by scheduler noise, not by the checksum.
+//
+// The committed BENCH_integrity.json tracks this across PRs; regenerate
+// with `mrbench -exp integrity -size 128 -json FILE`.
+func IntegrityBench(cfg Config) (*benchfmt.Report, error) {
+	cfg = cfg.withDefaults()
+	f := synth.Generate(synth.Nyx, cfg.Size, cfg.Seed)
+	h, err := grid.BuildAMR(f, 16, []float64{0.25, 0.35, 0.40})
+	if err != nil {
+		return nil, err
+	}
+	eb := hierarchyRange(h) * 1e-3
+	opt := core.SZ3MROptions(eb)
+	opt.Workers = cfg.Workers
+	c, err := core.CompressHierarchy(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	blob := c.Blob
+	payload := int64(h.PayloadBytes())
+
+	probe, err := reader.Open(bytes.NewReader(blob), int64(len(blob)), reader.WithCache(nil))
+	if err != nil {
+		return nil, err
+	}
+	if !probe.CanVerify() {
+		return nil, fmt.Errorf("integrity: freshly written container has no stream checksums")
+	}
+	rep := &benchfmt.Report{Config: map[string]any{
+		"dataset":         "nyx",
+		"size":            cfg.Size,
+		"seed":            cfg.Seed,
+		"eb":              "1e-3 * value range",
+		"levels":          len(h.Levels),
+		"container_bytes": len(blob),
+		"payload_bytes":   payload,
+		"streams":         len(probe.Index().Streams),
+	}}
+
+	// More iterations than the write/serve benches: the quantity of
+	// interest is a small difference between two large numbers, so noise
+	// must sit well under the <3% overhead target.
+	iters := 1 << 25 / (cfg.Size * cfg.Size * cfg.Size)
+	if iters < 2 {
+		iters = 2
+	} else if iters > 16 {
+		iters = 16
+	}
+
+	var benchErr error
+	keep := func(err error) {
+		if err != nil && benchErr == nil {
+			benchErr = err
+		}
+	}
+	// Cold reads: a fresh reader per iteration, caching off, so every
+	// iteration pays the full fetch+verify+decode of every level.
+	readAll := func(verify bool) {
+		r, err := reader.Open(bytes.NewReader(blob), int64(len(blob)),
+			reader.WithCache(nil), reader.WithVerify(verify))
+		if err != nil {
+			keep(err)
+			return
+		}
+		for l := 0; l < r.NumLevels(); l++ {
+			if _, err := r.ReadLevel(l); err != nil {
+				keep(err)
+				return
+			}
+		}
+	}
+	// Interleave the verified/unverified iterations so clock and thermal
+	// drift land on both sides equally — the overhead is a small difference
+	// between two large numbers.
+	readAll(true)
+	readAll(false)
+	var tVer, tUnver time.Duration
+	minVer, minUnver := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		readAll(true)
+		d := time.Since(start)
+		tVer += d
+		if d < minVer {
+			minVer = d
+		}
+		start = time.Now()
+		readAll(false)
+		d = time.Since(start)
+		tUnver += d
+		if d < minUnver {
+			minUnver = d
+		}
+	}
+	rep.Add("read_all_levels_verified", iters, tVer, payload)
+	rep.Add("read_all_levels_unverified", iters, tUnver, payload)
+	rep.Measure("crc32_container_pass", iters*8, int64(len(blob)), func() {
+		crc32.ChecksumIEEE(blob)
+	})
+	rep.Measure("verify_scrub", iters, int64(len(blob)), func() {
+		res, err := probe.Verify(context.Background())
+		keep(err)
+		if err == nil && !res.OK() {
+			keep(fmt.Errorf("integrity: scrub found faults in a clean container: %v", res.Faults))
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	// Two overhead numbers. The headline is deterministic: a verified
+	// read-all does exactly one CRC pass over the compressed bytes it
+	// fetches, so its true added cost is the measured crc32 pass divided by
+	// the unverified read time. The A/B delta (min-of-k over interleaved
+	// iterations) is kept as a sanity check — on a shared machine it is
+	// noise-bounded at a few percent, an order of magnitude above the
+	// signal, so it only confirms the overhead is not grossly larger than
+	// the analytic number.
+	round2 := func(pct float64) float64 { return float64(int(pct*100)) / 100 }
+	if minUnver > 0 {
+		crcNs := rep.Results[2].NsPerOp
+		rep.Config["verify_overhead_pct"] = round2(crcNs / float64(minUnver) * 100)
+		rep.Config["verify_ab_delta_pct"] = round2(float64(minVer-minUnver) / float64(minUnver) * 100)
+	}
+	return rep, nil
+}
+
+// IntegrityWriteTSV prints an integrity report in the package's
+// tab-separated style, the overhead headline last.
+func IntegrityWriteTSV(w io.Writer, rep *benchfmt.Report) {
+	printHeader(w, fmt.Sprintf("Integrity overhead: %v³ nyx, %v-byte container, %v streams",
+		rep.Config["size"], rep.Config["container_bytes"], rep.Config["streams"]),
+		"op", "ns/op", "MB/s")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\n", r.Name, r.NsPerOp, r.MBPerS)
+	}
+	fmt.Fprintf(w, "verify overhead\t%v%%\t(A/B delta %v%%, noise-bounded)\n",
+		rep.Config["verify_overhead_pct"], rep.Config["verify_ab_delta_pct"])
+}
+
+func init() {
+	register("integrity", "Integrity overhead: per-stream CRC verification on the read path, on vs off",
+		func(w io.Writer, cfg Config) error {
+			rep, err := IntegrityBench(cfg)
+			if err != nil {
+				return err
+			}
+			IntegrityWriteTSV(w, rep)
+			return nil
+		})
+	registerJSON("integrity", IntegrityBench, IntegrityWriteTSV)
+}

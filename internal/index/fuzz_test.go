@@ -45,10 +45,27 @@ func FuzzContainerIndex(f *testing.F) {
 		},
 	}
 	f.Add(small.AppendFooter(make([]byte, 40)))
+	// The same shapes with version-2 footers: per-stream checksums present.
+	ixCRC, bodyCRC := sampleIndex()
+	ixCRC.StreamCRCs = true
+	for i := range ixCRC.Streams {
+		ixCRC.Streams[i].CRC = uint32(0xdead0000 + i)
+	}
+	f.Add(ixCRC.AppendFooter(append([]byte(nil), bodyCRC...)))
+	smallCRC := *small
+	smallCRC.StreamCRCs = true
+	smallCRC.Streams = append([]Stream(nil), small.Streams...)
+	smallCRC.Streams[0].CRC = 0xfeedbeef
+	f.Add(smallCRC.AppendFooter(make([]byte, 40)))
+	// A v2 footer chopped mid-checksum: the parser must reject, not read
+	// past the section.
+	v2full := ixCRC.AppendFooter(append([]byte(nil), bodyCRC...))
+	f.Add(v2full[:len(v2full)-TrailerLen-2])
 	// A truncated footer and raw garbage.
 	full := ix.AppendFooter(append([]byte(nil), body...))
 	f.Add(full[:len(full)-7])
 	f.Add([]byte("MRIX\x01garbage"))
+	f.Add([]byte("MRIX\x02garbage"))
 	// An overflowing section-length field.
 	over := append([]byte(nil), full...)
 	binary.LittleEndian.PutUint64(over[len(over)-12:], ^uint64(0))
@@ -65,8 +82,20 @@ func FuzzContainerIndex(f *testing.F) {
 		if !ok || body != 0 {
 			t.Fatalf("re-serialized index not locatable (body=%d ok=%v)", body, ok)
 		}
-		if _, err := Parse(re[:len(re)-TrailerLen], 0); err != nil {
+		back, err := Parse(re[:len(re)-TrailerLen], 0)
+		if err != nil {
 			t.Fatalf("re-serialized index does not parse: %v", err)
+		}
+		// The round trip must preserve the checksum story bit for bit: a
+		// v2 footer stays v2 with the same per-stream CRCs, a v1 footer
+		// must not grow checksums out of thin air.
+		if back.StreamCRCs != got.StreamCRCs {
+			t.Fatalf("StreamCRCs flipped across round trip: %v -> %v", got.StreamCRCs, back.StreamCRCs)
+		}
+		for i := range got.Streams {
+			if back.Streams[i].CRC != got.Streams[i].CRC {
+				t.Fatalf("stream %d CRC changed across round trip", i)
+			}
 		}
 		// Locate must agree with ReadFrom on in-memory blobs.
 		if _, ok := Locate(blob); !ok {

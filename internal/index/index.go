@@ -17,7 +17,7 @@
 // The index section is written immediately after the last stream:
 //
 //	"MRIX"                      leading magic (sanity check)
-//	u8      index format version (currently 1)
+//	u8      index format version (1 = original, 2 = per-stream CRCs)
 //	u8 ×5   compressor, arrangement, pad, padKind, adaptiveEB
 //	uvarint SZ2 block size
 //	u8      interpolant
@@ -34,6 +34,8 @@
 //	    uvarint     absolute offset of the compressed stream
 //	    uvarint     compressed length
 //	    uvarint     raw (decoded) length in bytes
+//	    u32le       CRC-32 (IEEE) of the compressed stream bytes
+//	                (footer version 2 only)
 //
 // followed by a fixed 16-byte trailer that terminates the container:
 //
@@ -61,8 +63,17 @@ const Magic = "MRIX"
 // container: CRC-32 + section length + closing magic.
 const TrailerLen = 4 + 8 + 4
 
-// formatVersion is the index wire-format version this package writes.
-const formatVersion = 1
+// Index footer wire-format versions. Version 2 appends a CRC-32 of each
+// compressed stream's bytes to its index entry, so every random-access read
+// can verify payload integrity before decoding; stream bodies are
+// byte-identical across versions, and version-1 footers stay readable with
+// verification reported unavailable (Index.StreamCRCs false).
+const (
+	// footerVersionV1 is the original footer: no per-stream checksums.
+	footerVersionV1 = 1
+	// footerVersionStreamCRC adds a u32le CRC-32 (IEEE) per stream entry.
+	footerVersionStreamCRC = 2
+)
 
 // Sanity bounds for the header echo; generous for any real dataset but
 // tight enough that a corrupt uvarint cannot drive huge allocations.
@@ -110,6 +121,9 @@ type Stream struct {
 	Len int64
 	// RawLen is the decoded payload size in bytes (before unpadding).
 	RawLen int64
+	// CRC is the CRC-32 (IEEE) of the compressed stream bytes. Meaningful
+	// only when the index carries checksums (Index.StreamCRCs).
+	CRC uint32
 }
 
 // Level is one level's reconstruction metadata.
@@ -128,6 +142,10 @@ type Index struct {
 	Nx, Ny, Nz, BlockB int
 	Levels             []Level
 	Streams            []Stream
+	// StreamCRCs reports whether every Stream carries a payload CRC
+	// (footer version 2). Writers set it to emit the checked footer;
+	// readers use it to decide whether integrity verification is available.
+	StreamCRCs bool
 }
 
 // NumLevels returns the level count.
@@ -155,7 +173,11 @@ func (ix *Index) CompressedBytes(level int) int64 {
 // appendSection serializes the index section (without the trailer).
 func (ix *Index) appendSection(dst []byte) []byte {
 	dst = append(dst, Magic...)
-	dst = append(dst, formatVersion)
+	ver := byte(footerVersionV1)
+	if ix.StreamCRCs {
+		ver = footerVersionStreamCRC
+	}
+	dst = append(dst, ver)
 	o := ix.Opts
 	dst = append(dst, o.Compressor, o.Arrangement, boolByte(o.Pad), o.PadKind, boolByte(o.AdaptiveEB))
 	dst = binary.AppendUvarint(dst, uint64(o.SZ2Block))
@@ -189,6 +211,9 @@ func (ix *Index) appendSection(dst []byte) []byte {
 			dst = binary.AppendUvarint(dst, uint64(s.Offset))
 			dst = binary.AppendUvarint(dst, uint64(s.Len))
 			dst = binary.AppendUvarint(dst, uint64(s.RawLen))
+			if ix.StreamCRCs {
+				dst = binary.LittleEndian.AppendUint32(dst, s.CRC)
+			}
 		}
 	}
 	return dst
@@ -269,9 +294,10 @@ func Parse(section []byte, containerSize int64) (*Index, error) {
 		return nil, fail("magic")
 	}
 	buf = buf[len(Magic):]
-	if buf[0] != formatVersion {
+	if buf[0] != footerVersionV1 && buf[0] != footerVersionStreamCRC {
 		return nil, fmt.Errorf("index: unsupported index version %d", buf[0])
 	}
+	streamCRCs := buf[0] == footerVersionStreamCRC
 	buf = buf[1:]
 	readU := func() (uint64, bool) {
 		v, n := binary.Uvarint(buf)
@@ -292,7 +318,7 @@ func Parse(section []byte, containerSize int64) (*Index, error) {
 	if len(buf) < 5 {
 		return nil, fail("options")
 	}
-	ix := &Index{}
+	ix := &Index{StreamCRCs: streamCRCs}
 	ix.Opts.Compressor = buf[0]
 	ix.Opts.Arrangement = buf[1]
 	ix.Opts.Pad = buf[2] != 0
@@ -416,6 +442,13 @@ func Parse(section []byte, containerSize int64) (*Index, error) {
 			s.Offset, s.Len, s.RawLen = int64(vals[0]), int64(vals[1]), int64(vals[2])
 			if containerSize > 0 && s.Offset+s.Len > containerSize {
 				return nil, fail("stream past end of container")
+			}
+			if streamCRCs {
+				if len(buf) < 4 {
+					return nil, fail("stream crc")
+				}
+				s.CRC = binary.LittleEndian.Uint32(buf)
+				buf = buf[4:]
 			}
 			lv.Streams = append(lv.Streams, len(ix.Streams))
 			ix.Streams = append(ix.Streams, s)

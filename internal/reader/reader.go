@@ -21,13 +21,16 @@
 package reader
 
 import (
+	"context"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/faultio"
 	"repro/internal/field"
 	"repro/internal/index"
 	"repro/internal/layout"
@@ -83,6 +86,11 @@ type Stats struct {
 	BytesRead int64
 	// CacheHits and CacheMisses count brick-cache outcomes for this reader.
 	CacheHits, CacheMisses int64
+	// Retries counts source reads that were retried after a transient fault.
+	Retries int64
+	// CorruptStreams counts streams that failed integrity verification or
+	// decode — candidates for quarantine in the serving path.
+	CorruptStreams int64
 }
 
 // Option configures a Reader.
@@ -101,33 +109,77 @@ func WithCacheKey(id string) Option {
 	return func(r *Reader) { r.id = id }
 }
 
+// WithVerify controls per-stream CRC verification before decode. The
+// default is on; verification is silently unavailable when the container's
+// footer predates stream checksums (see CanVerify).
+func WithVerify(v bool) Option {
+	return func(r *Reader) { r.verify = v }
+}
+
+// WithRetryPolicy overrides the bounded retry-with-backoff applied to every
+// source read (default faultio.DefaultRetryPolicy: transient faults are
+// absorbed below the decode layer).
+func WithRetryPolicy(p faultio.RetryPolicy) Option {
+	return func(r *Reader) { r.retryPolicy = p }
+}
+
+// WithSourceWrap interposes a transform on the container source underneath
+// the retry layer — the fault-injection seam: tests (and the CI smoke run)
+// wrap the source in a faultio.FaultReaderAt to exercise the serving path
+// under storage faults without real broken hardware.
+func WithSourceWrap(wrap func(io.ReaderAt) io.ReaderAt) Option {
+	return func(r *Reader) { r.srcWrap = wrap }
+}
+
 var nextID atomic.Int64
 
 // Reader is an open container handle.
 type Reader struct {
-	src      io.ReaderAt
-	size     int64
-	ix       *index.Index
-	opt      core.Options
-	cache    *cache.Cache
-	cacheSet bool
-	id       string
-	fellBack bool
+	src         io.ReaderAt
+	size        int64
+	ix          *index.Index
+	opt         core.Options
+	cache       *cache.Cache
+	cacheSet    bool
+	id          string
+	fellBack    bool
+	verify      bool
+	retryPolicy faultio.RetryPolicy
+	srcWrap     func(io.ReaderAt) io.ReaderAt
 
 	backendDecodes atomic.Int64
 	bytesRead      atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
+	retries        atomic.Int64
+	corruptStreams atomic.Int64
 }
 
 // Open opens a container accessed through src with the given total size.
 // It reads the index footer (plus nothing else); unindexed containers cost
 // one full sequential scan up front.
 func Open(src io.ReaderAt, size int64, opts ...Option) (*Reader, error) {
-	r := &Reader{src: src, size: size}
+	r := &Reader{size: size, verify: true, retryPolicy: faultio.DefaultRetryPolicy}
 	for _, o := range opts {
 		o(r)
 	}
+	if r.srcWrap != nil {
+		src = r.srcWrap(src)
+	}
+	// Every read — the footer, the fallback scan, stream payloads — goes
+	// through the bounded retry layer, so transient storage faults are
+	// absorbed before any decode or parse sees them. The OnRetry hook feeds
+	// the reader's retry counter (and the caller's hook, when set).
+	pol := r.retryPolicy
+	callerOnRetry := pol.OnRetry
+	pol.OnRetry = func(err error) {
+		r.retries.Add(1)
+		if callerOnRetry != nil {
+			callerOnRetry(err)
+		}
+	}
+	src = faultio.NewRetryReaderAt(src, pol)
+	r.src = src
 	if !r.cacheSet {
 		r.cache = cache.New(DefaultCacheBytes, cache.DefaultShards)
 	}
@@ -217,6 +269,12 @@ func (r *Reader) Dims() (nx, ny, nz int) { return r.ix.Nx, r.ix.Ny, r.ix.Nz }
 // was scanned sequentially instead.
 func (r *Reader) FellBack() bool { return r.fellBack }
 
+// CanVerify reports whether per-stream integrity verification is available:
+// the container's index carries payload checksums (checked-footer
+// containers, and any container opened through the sequential-scan
+// fallback, whose synthesized index checksums the payloads it located).
+func (r *Reader) CanVerify() bool { return r.ix.StreamCRCs }
+
 // Stats snapshots the reader's access counters.
 func (r *Reader) Stats() Stats {
 	return Stats{
@@ -224,6 +282,8 @@ func (r *Reader) Stats() Stats {
 		BytesRead:      r.bytesRead.Load(),
 		CacheHits:      r.cacheHits.Load(),
 		CacheMisses:    r.cacheMisses.Load(),
+		Retries:        r.retries.Load(),
+		CorruptStreams: r.corruptStreams.Load(),
 	}
 }
 
@@ -237,45 +297,71 @@ func (r *Reader) cachedField(key string) (*field.Field, bool) {
 	return nil, false
 }
 
-// fetchStream reads and decodes stream si, without caching. Decoding uses
-// the stream's own codec from the index — in a mixed-codec (format v4)
-// container each level may have been compressed by a different backend.
-func (r *Reader) fetchStream(si int) (*field.Field, error) {
+// markCorrupt counts a stream that failed integrity checks or decode and
+// returns the error classified Corrupt (idempotent when already classified).
+func (r *Reader) markCorrupt(err error) error {
+	r.corruptStreams.Add(1)
+	if faultio.IsCorrupt(err) {
+		return err
+	}
+	return faultio.Corrupt(err)
+}
+
+// fetchStream reads and decodes stream si, without caching. The payload is
+// verified against the index's per-stream CRC first (when available and not
+// disabled via WithVerify), so damaged bytes are rejected with a typed
+// Corrupt error before any codec sees them. Decoding uses the stream's own
+// codec from the index — in a mixed-codec (format v4) container each level
+// may have been compressed by a different backend.
+func (r *Reader) fetchStream(ctx context.Context, si int) (*field.Field, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := r.ix.Streams[si]
 	payload := make([]byte, s.Len)
 	if _, err := r.src.ReadAt(payload, s.Offset); err != nil {
-		return nil, fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err)
+		err = fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err)
+		if faultio.IsCorrupt(err) {
+			r.corruptStreams.Add(1)
+		}
+		return nil, err
 	}
 	r.bytesRead.Add(s.Len)
+	if r.verify && r.ix.StreamCRCs {
+		if got := crc32.ChecksumIEEE(payload); got != s.CRC {
+			return nil, r.markCorrupt(fmt.Errorf("reader: stream L%dB%d: payload CRC %08x, index says %08x",
+				s.Level, s.Box, got, s.CRC))
+		}
+	}
 	opt := r.opt
 	opt.Compressor = core.Compressor(s.Compressor)
 	f, err := core.DecodeStream(payload, opt)
 	if err != nil {
-		return nil, fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err)
+		return nil, r.markCorrupt(fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err))
 	}
 	r.backendDecodes.Add(1)
 	if int64(f.Bytes()) != s.RawLen {
-		return nil, fmt.Errorf("reader: stream L%dB%d decoded to %d bytes, index says %d",
-			s.Level, s.Box, f.Bytes(), s.RawLen)
+		return nil, r.markCorrupt(fmt.Errorf("reader: stream L%dB%d decoded to %d bytes, index says %d",
+			s.Level, s.Box, f.Bytes(), s.RawLen))
 	}
 	return f, nil
 }
 
 // boxBrick returns the decoded field of TAC stream si, via the cache.
-func (r *Reader) boxBrick(si int) (*field.Field, error) {
+func (r *Reader) boxBrick(ctx context.Context, si int) (*field.Field, error) {
 	s := r.ix.Streams[si]
 	key := fmt.Sprintf("%s/L%d/B%d", r.id, s.Level, s.Box)
 	if f, ok := r.cachedField(key); ok {
 		return f, nil
 	}
-	f, err := r.fetchStream(si)
+	f, err := r.fetchStream(ctx, si)
 	if err != nil {
 		return nil, err
 	}
 	u := r.ix.UnitBlockSize(s.Level)
 	if f.Nx != s.Geom.WX*u || f.Ny != s.Geom.WY*u || f.Nz != s.Geom.WZ*u {
-		return nil, fmt.Errorf("reader: box L%dB%d decoded shape %v does not match geometry %+v",
-			s.Level, s.Box, f, s.Geom)
+		return nil, r.markCorrupt(fmt.Errorf("reader: box L%dB%d decoded shape %v does not match geometry %+v",
+			s.Level, s.Box, f, s.Geom))
 	}
 	r.cache.Put(key, f, int64(f.Bytes()))
 	return f, nil
@@ -283,7 +369,7 @@ func (r *Reader) boxBrick(si int) (*field.Field, error) {
 
 // levelField returns a merged level's placed full-domain array, via the
 // cache. Valid only for non-TAC streams.
-func (r *Reader) levelField(l int) (*field.Field, error) {
+func (r *Reader) levelField(ctx context.Context, l int) (*field.Field, error) {
 	key := fmt.Sprintf("%s/L%d", r.id, l)
 	if f, ok := r.cachedField(key); ok {
 		return f, nil
@@ -292,7 +378,7 @@ func (r *Reader) levelField(l int) (*field.Field, error) {
 	out := field.New(nx, ny, nz)
 	lv := &r.ix.Levels[l]
 	if len(lv.Streams) > 0 {
-		f, err := r.fetchStream(lv.Streams[0])
+		f, err := r.fetchStream(ctx, lv.Streams[0])
 		if err != nil {
 			return nil, err
 		}
@@ -339,17 +425,24 @@ func (r *Reader) isTAC() bool {
 // lists say which blocks are meaningful. The returned field may be shared
 // with the cache — treat it as read-only.
 func (r *Reader) ReadLevel(l int) (*field.Field, error) {
+	return r.ReadLevelCtx(context.Background(), l)
+}
+
+// ReadLevelCtx is ReadLevel under a context: cancellation is honored
+// before each brick fetch, so a disconnected client or a shutting-down
+// server stops paying for decodes mid-level.
+func (r *Reader) ReadLevelCtx(ctx context.Context, l int) (*field.Field, error) {
 	if err := r.checkLevel(l); err != nil {
 		return nil, err
 	}
 	if !r.isTAC() {
-		return r.levelField(l)
+		return r.levelField(ctx, l)
 	}
 	nx, ny, nz := r.ix.LevelDims(l)
 	out := field.New(nx, ny, nz)
 	u := r.ix.UnitBlockSize(l)
 	for _, si := range r.ix.Levels[l].Streams {
-		f, err := r.boxBrick(si)
+		f, err := r.boxBrick(ctx, si)
 		if err != nil {
 			return nil, err
 		}
@@ -363,6 +456,11 @@ func (r *Reader) ReadLevel(l int) (*field.Field, error) {
 // coordinates, decoding only that box's stream. It errors on containers
 // whose arrangement has no boxes (use ReadLevel).
 func (r *Reader) ReadBox(l, b int) (*field.Field, layout.Box, error) {
+	return r.ReadBoxCtx(context.Background(), l, b)
+}
+
+// ReadBoxCtx is ReadBox under a context (see ReadLevelCtx).
+func (r *Reader) ReadBoxCtx(ctx context.Context, l, b int) (*field.Field, layout.Box, error) {
 	if err := r.checkLevel(l); err != nil {
 		return nil, layout.Box{}, err
 	}
@@ -374,7 +472,7 @@ func (r *Reader) ReadBox(l, b int) (*field.Field, layout.Box, error) {
 		return nil, layout.Box{}, fmt.Errorf("reader: box %d out of range [0,%d) in level %d", b, len(streams), l)
 	}
 	si := streams[b]
-	f, err := r.boxBrick(si)
+	f, err := r.boxBrick(ctx, si)
 	if err != nil {
 		return nil, layout.Box{}, err
 	}
@@ -387,6 +485,11 @@ func (r *Reader) ReadBox(l, b int) (*field.Field, layout.Box, error) {
 // merged containers the level's single stream is decoded (once — repeats
 // hit the cache).
 func (r *Reader) ReadSlice(axis Axis, k, l int) (*field.Field, error) {
+	return r.ReadSliceCtx(context.Background(), axis, k, l)
+}
+
+// ReadSliceCtx is ReadSlice under a context (see ReadLevelCtx).
+func (r *Reader) ReadSliceCtx(ctx context.Context, axis Axis, k, l int) (*field.Field, error) {
 	if err := r.checkLevel(l); err != nil {
 		return nil, err
 	}
@@ -408,7 +511,7 @@ func (r *Reader) ReadSlice(axis Axis, k, l int) (*field.Field, error) {
 		onz = 1
 	}
 	if !r.isTAC() {
-		lf, err := r.levelField(l)
+		lf, err := r.levelField(ctx, l)
 		if err != nil {
 			return nil, err
 		}
@@ -430,7 +533,7 @@ func (r *Reader) ReadSlice(axis Axis, k, l int) (*field.Field, error) {
 		if k < lo[axis] || k >= lo[axis]+w[axis] {
 			continue // box does not intersect the plane; skip its decode
 		}
-		f, err := r.boxBrick(si)
+		f, err := r.boxBrick(ctx, si)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // AtomicFile streams fn's output into a hidden temporary file in path's
@@ -54,4 +55,33 @@ func AtomicFile(path string, perm os.FileMode, fn func(io.Writer) error) (err er
 		d.Close()
 	}
 	return nil
+}
+
+// tmpGlob matches the temporaries AtomicFile creates: "." + base + ".tmp-" +
+// random suffix. Kept alongside AtomicFile so the two can't drift apart.
+const tmpGlob = ".*.tmp-*"
+
+// SweepTemps removes AtomicFile residue from dir: hidden temporaries left
+// behind by a process that crashed between CreateTemp and the final rename.
+// Only temporaries older than maxAge are removed, so an in-flight write's
+// temporary is never yanked out from under it. It returns the number of
+// files removed; the error reports only a failure to list the directory —
+// per-file races (another sweeper, the writer finishing) are ignored.
+func SweepTemps(dir string, maxAge time.Duration) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, tmpGlob))
+	if err != nil {
+		return 0, fmt.Errorf("writer: sweeping %s: %w", dir, err)
+	}
+	cutoff := time.Now().Add(-maxAge)
+	removed := 0
+	for _, path := range matches {
+		info, err := os.Lstat(path)
+		if err != nil || !info.Mode().IsRegular() || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(path) == nil {
+			removed++
+		}
+	}
+	return removed, nil
 }

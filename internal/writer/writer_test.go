@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestAtomicFileWritesAndReplaces(t *testing.T) {
@@ -67,5 +68,46 @@ func TestAtomicFileFailureLeavesNoTrace(t *testing.T) {
 		if strings.Contains(e.Name(), ".tmp-") {
 			t.Fatalf("temporary %s left behind", e.Name())
 		}
+	}
+}
+
+// TestSweepTempsRemovesCrashResidue simulates a crash between CreateTemp and
+// rename: the orphaned temporary must be swept once stale, while fresh
+// temporaries (a write in flight) and real containers survive.
+func TestSweepTempsRemovesCrashResidue(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".field.mrw.tmp-123456")
+	fresh := filepath.Join(dir, ".other.mrw.tmp-654321")
+	kept := filepath.Join(dir, "field.mrw")
+	for _, p := range []string{stale, fresh, kept} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(stale, past, past); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SweepTemps(dir, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("swept %d files, want 1", n)
+	}
+	if _, err := os.Lstat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temporary survived the sweep")
+	}
+	for _, p := range []string{fresh, kept} {
+		if _, err := os.Lstat(p); err != nil {
+			t.Fatalf("sweep removed %s: %v", p, err)
+		}
+	}
+	// maxAge 0 sweeps everything matching the pattern, fresh or not.
+	if n, err := SweepTemps(dir, 0); err != nil || n != 1 {
+		t.Fatalf("aggressive sweep: n=%d err=%v", n, err)
+	}
+	if _, err := os.Lstat(kept); err != nil {
+		t.Fatalf("sweep removed the container: %v", err)
 	}
 }

@@ -67,6 +67,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -415,6 +416,30 @@ func OpenContainerCached(src io.ReaderAt, size int64, c *BrickCache, key string)
 // OpenContainerFile opens a container file for random access.
 func OpenContainerFile(path string) (*ContainerFile, error) {
 	return reader.OpenFile(path)
+}
+
+// VerifyResult is the damage report of a container scrub: how many streams
+// were checked (against footer checksums) or decoded (pre-checksum
+// footers), and which failed.
+type VerifyResult = reader.VerifyResult
+
+// Verify scrubs an open container: every stream's payload is read and
+// checked against its per-stream footer checksum, or fully decoded when the
+// footer predates checksums. Per-stream failures land in the result's
+// Faults, not the error — run it periodically against shared storage to
+// find bit rot before a request does (cmd/mrcompress -verify is the CLI).
+func Verify(ctx context.Context, r *ContainerReader) (*VerifyResult, error) {
+	return r.Verify(ctx)
+}
+
+// VerifyFile opens path and scrubs it; see Verify.
+func VerifyFile(ctx context.Context, path string) (*VerifyResult, error) {
+	f, err := reader.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return f.Verify(ctx)
 }
 
 // Decompress reconstructs the hierarchy from a compressed container.
