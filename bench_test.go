@@ -1,4 +1,4 @@
-package repro
+package repro_test
 
 // Benchmark harness: one benchmark per paper table/figure (each wraps the
 // corresponding experiment from internal/experiments and regenerates its
@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fft"
@@ -329,7 +330,7 @@ func BenchmarkROIConvert(b *testing.B) {
 	b.SetBytes(int64(f.Bytes()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ConvertROI(f, 16, 0.5); err != nil {
+		if _, err := repro.ConvertROI(f, 16, 0.5); err != nil {
 			b.Fatal(err)
 		}
 	}

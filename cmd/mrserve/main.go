@@ -21,8 +21,9 @@
 //	                                        roiblock=|roifrac=]
 //	GET /healthz                            liveness
 //	GET /metrics                            Prometheus text: request/latency
-//	                                        counters, cache hits/misses,
-//	                                        backend decodes
+//	                                        counters and histograms, cache
+//	                                        hits/misses, backend decodes
+//	GET /debug/traces                       recent request traces (JSON)
 //
 // Binary responses (and the PUT request body) use the same raw field format
 // as mrcompress (24-byte little-endian dims header + float64 samples);
@@ -43,6 +44,17 @@
 // per-field corruption, quarantine, and retry counters. Stale write
 // temporaries (crash residue from an interrupted ingest) are swept at
 // startup and every -sweep-interval.
+//
+// Observability: every request runs under a trace identified by its
+// X-Request-Id header (accepted from the client or generated, always echoed
+// back); recent traces — with per-span serve/read/decode timings — are at
+// GET /debug/traces, requests slower than -trace-slow are logged with their
+// span breakdown, and -log-sample emits a structured access-log line per
+// sampled request. /metrics serves fixed-bucket latency histograms per
+// endpoint and per pipeline stage alongside the original counters. An
+// opt-in -debug-addr listener exposes net/http/pprof (with lock/block
+// profiling behind -mutex-profile-fraction and -block-profile-rate) plus
+// the same /debug/traces.
 package main
 
 import (
@@ -50,11 +62,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/faultio"
 	"repro/internal/reader"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -64,39 +79,65 @@ func main() {
 		cacheMB     = flag.Int64("cache-mb", 256, "brick cache budget in MiB (0 disables caching)")
 		shards      = flag.Int("cache-shards", 16, "brick cache shard count")
 		maxIngestMB = flag.Int64("max-ingest-mb", 1024, "largest raw field accepted by PUT ingest, in MiB")
-		quarTTL     = flag.Duration("quarantine-ttl", defaultQuarantineTTL, "how long a corrupt level is skipped before being probed again")
+		quarTTL     = flag.Duration("quarantine-ttl", serve.DefaultQuarantineTTL, "how long a corrupt level is skipped before being probed again")
 		sweepEvery  = flag.Duration("sweep-interval", 10*time.Minute, "period between crash-residue sweeps of the data directory (0 disables)")
 		faultSpec   = flag.String("fault-inject", "", `inject deterministic read faults for resilience drills, e.g. "seed=7,transient=0.05,maxfaults=100" (testing only)`)
+
+		traceRing = flag.Int("trace-ring", 0, "recent request traces retained for /debug/traces (0 = default)")
+		traceSlow = flag.Duration("trace-slow", 0, "log any request at least this slow with its span breakdown (0 disables)")
+		logSample = flag.Int("log-sample", 0, "emit one access-log line per N requests (1 = every request, 0 disables)")
+		debugAddr = flag.String("debug-addr", "", "optional second listener for net/http/pprof and /debug/traces (e.g. localhost:6060)")
+		blockRate = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate argument for the pprof block profile (0 disables)")
+		mutexFrac = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction argument for the pprof mutex profile (0 disables)")
 	)
 	flag.Parse()
 
-	s, err := newServer(*dir, *cacheMB<<20, *maxIngestMB<<20, *shards)
-	if err != nil {
-		fatal(err)
+	cfg := serve.Config{
+		Dir:            *dir,
+		CacheBytes:     *cacheMB << 20,
+		MaxIngestBytes: *maxIngestMB << 20,
+		CacheShards:    *shards,
+		QuarantineTTL:  *quarTTL,
+		TraceRing:      *traceRing,
+		TraceSlow:      *traceSlow,
+		LogSample:      *logSample,
+		LogWriter:      os.Stderr,
 	}
-	s.quar.ttl = *quarTTL
 	if *faultSpec != "" {
-		plan, err := parseFaultPlan(*faultSpec)
+		plan, err := serve.ParseFaultPlan(*faultSpec)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "mrserve: WARNING: injecting faults into every container read (%s)\n", *faultSpec)
-		s.readerOpts = append(s.readerOpts, reader.WithSourceWrap(func(src io.ReaderAt) io.ReaderAt {
+		cfg.ReaderOptions = append(cfg.ReaderOptions, reader.WithSourceWrap(func(src io.ReaderAt) io.ReaderAt {
 			return faultio.NewFaultReaderAt(src, plan)
 		}))
 	}
-	s.sweepTemps()
-	if *sweepEvery > 0 {
-		go s.sweepLoop(*sweepEvery, make(chan struct{}))
+	s, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
 	}
-	ids, err := s.fieldIDs()
+	s.SweepTemps()
+	if *sweepEvery > 0 {
+		go s.SweepLoop(*sweepEvery, make(chan struct{}))
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, s)
+	}
+	ids, err := s.FieldIDs()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("mrserve: serving %d field(s) from %s on %s\n", len(ids), *dir, *addr)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: s.handler(),
+		Handler: s.Handler(),
 		// Slow-header clients and idle keep-alive connections are bounded
 		// separately from body transfer: ingest uploads and fine-level
 		// downloads may legitimately take minutes, a header may not.
@@ -107,6 +148,28 @@ func main() {
 	}
 	if err := srv.ListenAndServe(); err != nil {
 		fatal(err)
+	}
+}
+
+// serveDebug runs the opt-in debug listener: pprof endpoints plus the
+// trace ring. Kept off the serving mux so profiling can be bound to
+// localhost while the data plane is public.
+func serveDebug(addr string, s *serve.Server) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", s.TracesHandler())
+	fmt.Fprintf(os.Stderr, "mrserve: debug listener (pprof, traces) on %s\n", addr)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "mrserve: debug listener:", err)
 	}
 }
 

@@ -19,11 +19,14 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/field"
+	"repro/internal/obs"
 )
 
 // Wire IDs of the built-in codecs. These match the historical
@@ -142,6 +145,19 @@ func All() []Codec {
 		out = append(out, byName[n])
 	}
 	return out
+}
+
+// DecompressCtx is Decompress under a trace span: when the context carries
+// a trace, the decode appears as a "decode" span tagged with the codec name
+// and payload size. Without a trace it costs one nil check.
+func DecompressCtx(ctx context.Context, c Codec, data []byte) (*field.Field, error) {
+	_, sp := obs.StartSpan(ctx, "decode")
+	if sp != nil {
+		sp.SetTag("codec", c.Name())
+		sp.SetTag("bytes", strconv.Itoa(len(data)))
+		defer sp.End()
+	}
+	return c.Decompress(data)
 }
 
 // ErrUnknownID formats the standard unknown-wire-ID error, enumerating the

@@ -18,6 +18,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -307,7 +308,11 @@ func compressField(f *field.Field, opt Options, c Compressor) ([]byte, error) {
 	return cd.Compress(f, opt.params())
 }
 
-func decompressField(data []byte, c Compressor) (f *field.Field, err error) {
+func decompressField(data []byte, c Compressor) (*field.Field, error) {
+	return decompressFieldCtx(context.Background(), data, c)
+}
+
+func decompressFieldCtx(ctx context.Context, data []byte, c Compressor) (f *field.Field, err error) {
 	cd, ok := codec.ByID(byte(c))
 	if !ok {
 		return nil, fmt.Errorf("core: %w", codec.ErrUnknownID(byte(c)))
@@ -322,7 +327,7 @@ func decompressField(data []byte, c Compressor) (f *field.Field, err error) {
 			f, err = nil, faultio.Corrupt(fmt.Errorf("core: %s decode panicked: %v", cd.Name(), r))
 		}
 	}()
-	return cd.Decompress(data)
+	return codec.DecompressCtx(ctx, cd, data)
 }
 
 // Compressed is a serialized multi-resolution compression result.
@@ -886,6 +891,14 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 // sets opt.Compressor to the stream's own codec (index.Stream.Compressor).
 func DecodeStream(stream []byte, opt Options) (*field.Field, error) {
 	return decompressField(stream, opt.Compressor)
+}
+
+// DecodeStreamCtx is DecodeStream with request-scoped observability: when
+// ctx carries a trace (see internal/obs), the decode is recorded as a
+// "decode" span tagged with the codec name. Untraced contexts cost one
+// context lookup.
+func DecodeStreamCtx(ctx context.Context, stream []byte, opt Options) (*field.Field, error) {
+	return decompressFieldCtx(ctx, stream, opt.Compressor)
 }
 
 // BuildIndex scans a full in-memory container and synthesizes the block

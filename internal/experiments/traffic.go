@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// Traffic harness: a mixed-op closed-loop load generator against an
+// in-process mrserve. Unlike the "serve" experiment (single-threaded reader
+// micro-benchmarks), this measures the whole serving stack — HTTP, handler
+// instrumentation, cache contention, ingest invalidation — and reports
+// latency quantiles straight from the server's own request histograms, so
+// the committed BENCH_traffic.json is also a standing proof that the
+// observability plane measures what clients experience. The committed
+// trajectory regenerates with `mrbench -exp traffic -json BENCH_traffic.json`.
+
+// Knobs with package scope so the smoke test can shrink the run.
+var (
+	// trafficConcurrency lists the closed-loop worker counts measured, one
+	// serving instance per entry.
+	trafficConcurrency = []int{4, 16}
+	// trafficDuration is the measured wall-clock per concurrency level.
+	trafficDuration = 2 * time.Second
+	// trafficFields is how many distinct containers the zipf popularity
+	// distribution selects over.
+	trafficFields = 4
+)
+
+// Op mix of the closed loop, in percent. Ingest is deliberately rare: it
+// is the only write op and each one recompresses a field and invalidates
+// its reader, so a few percent already exercises the churn path hard.
+const (
+	trafficLevelPct = 60
+	trafficSlicePct = 30 // remainder (100 - level - slice) is ingest
+)
+
+// trafficCounts aggregates one concurrency level's closed loop.
+type trafficCounts struct {
+	ops    atomic.Int64
+	errors atomic.Int64
+}
+
+// buildTrafficDir compresses trafficFields synthetic AMR containers into
+// dir, returning the field IDs and the level count (shared: same geometry,
+// different seeds).
+func buildTrafficDir(dir string, cfg Config) ([]string, int, error) {
+	ids := make([]string, 0, trafficFields)
+	levels := 0
+	for i := 0; i < trafficFields; i++ {
+		f := synth.Generate(synth.Nyx, cfg.Size, cfg.Seed+int64(i))
+		h, err := grid.BuildAMR(f, 16, []float64{0.25, 0.35, 0.40})
+		if err != nil {
+			return nil, 0, err
+		}
+		c, err := core.CompressHierarchy(h, core.SZ3MROptions(hierarchyRange(h)*1e-3))
+		if err != nil {
+			return nil, 0, err
+		}
+		id := fmt.Sprintf("field%02d", i)
+		if err := os.WriteFile(filepath.Join(dir, id+".mrw"), c.Blob, 0o644); err != nil {
+			return nil, 0, err
+		}
+		ids = append(ids, id)
+		levels = len(h.Levels)
+	}
+	return ids, levels, nil
+}
+
+// trafficWorker runs one closed-loop client until deadline: pick an op by
+// mix, a field by zipf popularity, fire, repeat. Each worker owns its rng
+// (rand.Zipf is not concurrency-safe) and its keep-alive connection.
+func trafficWorker(base string, ids []string, levels int, cfg Config, wseed int64, ingestBody []byte, deadline time.Time, counts *trafficCounts) {
+	rng := rand.New(rand.NewSource(cfg.Seed*1000 + wseed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(ids)-1))
+	client := &http.Client{}
+	axes := []string{"x", "y", "z"}
+	for time.Now().Before(deadline) {
+		id := ids[zipf.Uint64()]
+		var (
+			resp *http.Response
+			err  error
+		)
+		switch p := rng.Intn(100); {
+		case p < trafficLevelPct:
+			resp, err = client.Get(fmt.Sprintf("%s/v1/field/%s/level/%d", base, id, rng.Intn(levels)))
+		case p < trafficLevelPct+trafficSlicePct:
+			l := rng.Intn(levels)
+			k := rng.Intn(cfg.Size >> uint(l))
+			resp, err = client.Get(fmt.Sprintf("%s/v1/field/%s/slice?axis=%s&k=%d&level=%d",
+				base, id, axes[rng.Intn(3)], k, l))
+		default:
+			req, rerr := http.NewRequest("PUT", base+"/v1/field/ingested?releb=1e-3",
+				bytes.NewReader(ingestBody))
+			if rerr != nil {
+				counts.errors.Add(1)
+				continue
+			}
+			resp, err = client.Do(req)
+		}
+		counts.ops.Add(1)
+		if err != nil {
+			counts.errors.Add(1)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			counts.errors.Add(1)
+		}
+	}
+}
+
+// runTrafficLevel measures one concurrency level against a fresh serving
+// instance (fresh cache, fresh histograms: levels stay independent) and
+// appends its quantile and throughput rows to rep.
+func runTrafficLevel(rep *benchfmt.Report, dir string, ids []string, levels, workers int, cfg Config, ingestBody []byte) error {
+	s, err := serve.New(serve.Config{
+		Dir:            dir,
+		CacheBytes:     64 << 20,
+		MaxIngestBytes: 1 << 30,
+		CacheShards:    8,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	var counts trafficCounts
+	deadline := time.Now().Add(trafficDuration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			trafficWorker(base, ids, levels, cfg, int64(w), ingestBody, deadline, &counts)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ops := counts.ops.Load()
+	if ops == 0 {
+		return fmt.Errorf("traffic: concurrency %d completed zero operations", workers)
+	}
+	rep.Config[fmt.Sprintf("c%d_ops", workers)] = ops
+	rep.Config[fmt.Sprintf("c%d_errors", workers)] = counts.errors.Load()
+	rep.Config[fmt.Sprintf("c%d_ops_per_s", workers)] = float64(ops) / elapsed.Seconds()
+
+	// Latency quantiles come from the server's own per-endpoint histograms —
+	// the same series /metrics exposes — not from client-side timers.
+	hists := s.EndpointHistograms()
+	for _, ep := range []string{"level", "slice", "ingest"} {
+		snap, ok := hists[ep]
+		if !ok || snap.Count == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			rep.Results = append(rep.Results, benchfmt.Result{
+				Name:    fmt.Sprintf("c%d/%s/%s", workers, ep, q.label),
+				Iters:   int(snap.Count),
+				NsPerOp: snap.Quantile(q.q) * 1e9,
+			})
+		}
+	}
+	rep.Results = append(rep.Results, benchfmt.Result{
+		Name:    fmt.Sprintf("c%d/all/mean", workers),
+		Iters:   int(ops),
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+	})
+	return nil
+}
+
+// TrafficBench drives the mixed closed-loop workload at every configured
+// concurrency level and reports per-endpoint p50/p95/p99 plus throughput.
+func TrafficBench(cfg Config) (*benchfmt.Report, error) {
+	cfg = cfg.withDefaults()
+	dir, err := os.MkdirTemp("", "mrserve-traffic")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ids, levels, err := buildTrafficDir(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// The ingest payload is a small raw field: big enough to exercise the
+	// compression path, small enough that the rare write op does not
+	// dominate the loop.
+	var ingestBuf bytes.Buffer
+	if _, err := synth.Generate(synth.Nyx, 16, cfg.Seed+99).WriteTo(&ingestBuf); err != nil {
+		return nil, err
+	}
+
+	rep := &benchfmt.Report{Config: map[string]any{
+		"dataset":      "nyx",
+		"size":         cfg.Size,
+		"seed":         cfg.Seed,
+		"fields":       trafficFields,
+		"levels":       levels,
+		"mix":          fmt.Sprintf("level=%d%% slice=%d%% ingest=%d%%", trafficLevelPct, trafficSlicePct, 100-trafficLevelPct-trafficSlicePct),
+		"zipf_s":       1.2,
+		"duration_s":   trafficDuration.Seconds(),
+		"concurrency":  append([]int(nil), trafficConcurrency...),
+		"quantile_src": "server-side mrserve_request_duration_seconds histograms",
+	}}
+	for _, workers := range trafficConcurrency {
+		if err := runTrafficLevel(rep, dir, ids, levels, workers, cfg, ingestBuf.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// WriteTrafficTSV prints a traffic report in the package's row style.
+func WriteTrafficTSV(w io.Writer, rep *benchfmt.Report) {
+	printHeader(w, fmt.Sprintf("Mixed-op serving load: %v fields (%v³ nyx), mix %v, %vs per level",
+		rep.Config["fields"], rep.Config["size"], rep.Config["mix"], rep.Config["duration_s"]),
+		"series", "latency_ms", "ops")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%s\t%.3f\t%d\n", r.Name, r.NsPerOp/1e6, r.Iters)
+	}
+	for _, c := range trafficConcurrency {
+		if v, ok := rep.Config[fmt.Sprintf("c%d_ops_per_s", c)]; ok {
+			fmt.Fprintf(w, "c%d/throughput\t%.1f ops/s\t(errors %v)\n",
+				c, v, rep.Config[fmt.Sprintf("c%d_errors", c)])
+		}
+	}
+}
+
+func init() {
+	register("traffic", "Mixed-op closed-loop serving load: p50/p95/p99 + throughput from server histograms",
+		func(w io.Writer, cfg Config) error {
+			rep, err := TrafficBench(cfg)
+			if err != nil {
+				return err
+			}
+			WriteTrafficTSV(w, rep)
+			return nil
+		})
+	registerJSON("traffic", TrafficBench, WriteTrafficTSV)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// TestTrafficSmoke runs the load harness at smoke scale — tiny fields,
+// short window, low concurrency — and checks the report is well-formed:
+// nonzero ops, valid JSON, quantile series for the read endpoints, and
+// p99 ≥ p50 (quantiles from one histogram must be monotone).
+func TestTrafficSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness; skipped in -short")
+	}
+	defer func(c []int, d time.Duration, f int) {
+		trafficConcurrency, trafficDuration, trafficFields = c, d, f
+	}(trafficConcurrency, trafficDuration, trafficFields)
+	trafficConcurrency = []int{2, 4}
+	trafficDuration = time.Second
+	trafficFields = 2
+
+	rep, err := TrafficBench(Config{Size: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range trafficConcurrency {
+		ops, ok := rep.Config[fmt.Sprintf("c%d_ops", c)].(int64)
+		if !ok || ops == 0 {
+			t.Fatalf("concurrency %d: zero ops (%v)", c, rep.Config)
+		}
+		if v := rep.Config[fmt.Sprintf("c%d_ops_per_s", c)].(float64); v <= 0 {
+			t.Fatalf("concurrency %d: throughput %v", c, v)
+		}
+	}
+
+	// Quantile rows exist for the read endpoints at every concurrency
+	// level, and each endpoint's p99 ≥ p50.
+	quant := map[string]float64{}
+	for _, r := range rep.Results {
+		quant[r.Name] = r.NsPerOp
+	}
+	for _, c := range trafficConcurrency {
+		for _, ep := range []string{"level", "slice"} {
+			p50, ok50 := quant[fmt.Sprintf("c%d/%s/p50", c, ep)]
+			p99, ok99 := quant[fmt.Sprintf("c%d/%s/p99", c, ep)]
+			if !ok50 || !ok99 {
+				t.Fatalf("c%d/%s: missing quantile rows (have %v)", c, ep, quant)
+			}
+			if p99 < p50 {
+				t.Errorf("c%d/%s: p99 %.0fns < p50 %.0fns", c, ep, p99, p50)
+			}
+			if p50 <= 0 {
+				t.Errorf("c%d/%s: p50 %.0fns not positive", c, ep, p50)
+			}
+		}
+	}
+
+	// The report must round-trip as JSON in the benchfmt schema.
+	var buf bytes.Buffer
+	if err := benchfmt.Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back benchfmt.Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("JSON round-trip lost results: %d != %d", len(back.Results), len(rep.Results))
+	}
+
+	// The TSV writer emits a header and data rows.
+	var tsv bytes.Buffer
+	WriteTrafficTSV(&tsv, rep)
+	if !strings.Contains(tsv.String(), "==") || len(strings.Split(strings.TrimSpace(tsv.String()), "\n")) < 3 {
+		t.Fatalf("TSV output malformed:\n%s", tsv.String())
+	}
+}

@@ -13,18 +13,22 @@
 //     injected latency) so the failure paths above are testable without
 //     real broken hardware.
 //
-// The package depends only on the standard library and is imported from
+// The package depends only on the standard library plus the leaf obs
+// package (retry events land on the request trace) and is imported from
 // below every decode layer, so any package may classify its errors without
 // import cycles.
 package faultio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Class partitions failures by the only property the serving path cares
@@ -190,6 +194,14 @@ func NewRetryReaderAt(r io.ReaderAt, p RetryPolicy) *RetryReaderAt {
 }
 
 func (r *RetryReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	return r.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx is ReadAt with request-scoped observability and cancellation:
+// each retried fault is recorded as an event on the context's current trace
+// span, and a canceled context stops the retry loop between attempts (the
+// cancellation surfaces as Permanent — retrying cannot help a dead request).
+func (r *RetryReaderAt) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	pol := r.Policy.withDefaults()
 	backoff := pol.Backoff
 	var n int
@@ -206,6 +218,10 @@ func (r *RetryReaderAt) ReadAt(p []byte, off int64) (int, error) {
 		}
 		if pol.OnRetry != nil {
 			pol.OnRetry(err)
+		}
+		obs.Eventf(ctx, "retry attempt=%d off=%d err=%v", attempt+1, off, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return n, Permanent(cerr)
 		}
 		if backoff > 0 {
 			pol.Sleep(backoff)

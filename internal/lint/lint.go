@@ -8,6 +8,7 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/load"
 	"repro/internal/lint/lockio"
+	"repro/internal/lint/obsspan"
 	"repro/internal/lint/retbuf"
 	"repro/internal/lint/uvarintguard"
 	"repro/internal/lint/wireconst"
@@ -17,6 +18,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		lockio.Analyzer,
+		obsspan.Analyzer,
 		retbuf.Analyzer,
 		uvarintguard.Analyzer,
 		wireconst.Analyzer,

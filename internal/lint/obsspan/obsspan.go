@@ -1,0 +1,190 @@
+// Package obsspan keeps the metrics contract and the serving mux in sync:
+// every endpoint a package registers through its instrument method must
+// appear in the expectedMetricEndpoints roster of that package's tests.
+//
+// This is the PR 8 drop class: instrument() is the single wrapper that
+// gives an endpoint its trace root, request counters, and latency
+// histogram, and the metrics test walks expectedMetricEndpoints to assert a
+// complete _bucket/_sum/_count series per endpoint on /metrics. A new
+// endpoint wired through instrument but left off the roster would serve
+// histograms nobody pins — a later refactor could silently drop its series
+// and no test would notice. The analyzer closes that gap statically.
+//
+// Mechanics: the check gates on a package that declares a method named
+// instrument whose first parameter is a string (the endpoint name). It
+// collects every string-literal first argument of .instrument(...) calls.
+// The roster lives in a _test.go file, which the mrlint loader deliberately
+// does not type-check — so the analyzer parses the package directory's
+// *_test.go sources directly (syntax only) looking for
+//
+//	var expectedMetricEndpoints = []string{...}
+//
+// and reports every instrumented endpoint missing from it, or the absence
+// of the roster altogether. Endpoints named by non-literal expressions are
+// outside the contract and ignored (none exist today).
+package obsspan
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsspan",
+	Doc: "every endpoint registered through the instrument method must appear in the " +
+		"metrics test's expectedMetricEndpoints roster, so its histogram series cannot drop from /metrics unnoticed",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	instr := instrumentMethod(pass.Files)
+	if instr == nil {
+		return nil
+	}
+
+	type site struct {
+		name string
+		pos  token.Pos
+	}
+	var sites []site
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "instrument" || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			sites = append(sites, site{name: name, pos: call.Pos()})
+			return true
+		})
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+
+	dir := filepath.Dir(pass.Fset.Position(instr.Pos()).Filename)
+	roster, rosterFile, err := loadRoster(dir)
+	if err != nil {
+		return err
+	}
+	if roster == nil {
+		pass.Reportf(instr.Pos(), "package instruments %d endpoint(s) but no _test.go in %s declares "+
+			"`var expectedMetricEndpoints = []string{...}`; add the roster so the metrics test pins every endpoint's histogram series",
+			len(sites), dir)
+		return nil
+	}
+	for _, s := range sites {
+		if !roster[s.name] {
+			pass.Reportf(s.pos, "endpoint %q is instrumented but missing from expectedMetricEndpoints in %s; "+
+				"without it the metrics test would not notice this endpoint's histogram series dropping from /metrics",
+				s.name, rosterFile)
+		}
+	}
+	return nil
+}
+
+// instrumentMethod finds a method declaration named instrument whose first
+// parameter is a plain string — the endpoint-wrapper signature the check
+// gates on.
+func instrumentMethod(files []*ast.File) *ast.FuncDecl {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "instrument" {
+				continue
+			}
+			params := fd.Type.Params
+			if params == nil || len(params.List) == 0 {
+				continue
+			}
+			if id, ok := params.List[0].Type.(*ast.Ident); ok && id.Name == "string" {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// loadRoster parses the directory's *_test.go files (syntax only; the
+// loader never type-checks test files) for the expectedMetricEndpoints
+// declaration and returns its entries as a set, plus the declaring file's
+// base name. A missing roster returns a nil map; an unparsable test file is
+// an error (the roster must stay discoverable).
+func loadRoster(dir string) (map[string]bool, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", fmt.Errorf("obsspan: reading %s: %w", dir, err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, "", fmt.Errorf("obsspan: parsing %s: %w", path, err)
+		}
+		if roster := rosterFromFile(f); roster != nil {
+			return roster, e.Name(), nil
+		}
+	}
+	return nil, "", nil
+}
+
+// rosterFromFile extracts the string elements of a top-level
+// `var expectedMetricEndpoints = []string{...}` declaration, or nil.
+func rosterFromFile(f *ast.File) map[string]bool {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name != "expectedMetricEndpoints" || i >= len(vs.Values) {
+					continue
+				}
+				cl, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				roster := map[string]bool{}
+				for _, el := range cl.Elts {
+					lit, ok := el.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						roster[s] = true
+					}
+				}
+				return roster
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package obsspan_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/obsspan"
+)
+
+func TestObsspan(t *testing.T) {
+	linttest.Run(t, linttest.Testdata(t), obsspan.Analyzer, "positive", "norostered", "negative")
+}

@@ -1,0 +1,22 @@
+// Package negative is the clean case: every instrumented endpoint appears
+// in the roster, and packages without an instrument method (or with a
+// non-string first parameter) are out of scope entirely.
+package negative
+
+type server struct{}
+
+func (s *server) instrument(name string, h func()) func() {
+	return h
+}
+
+// instrumentOther has the name but not the signature; calls to it are not
+// endpoint registrations.
+type other struct{}
+
+func (o *other) instrument(n int) int { return n }
+
+func (s *server) handler(o *other) {
+	s.instrument("healthz", nil)
+	s.instrument("level", nil)
+	o.instrument(7)
+}

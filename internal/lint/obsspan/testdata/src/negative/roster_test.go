@@ -1,0 +1,3 @@
+package negative
+
+var expectedMetricEndpoints = []string{"healthz", "level"}

@@ -1,0 +1,13 @@
+// Package norostered instruments endpoints but ships no roster at all: the
+// instrument declaration itself is flagged.
+package norostered
+
+type server struct{}
+
+func (s *server) instrument(name string, h func()) func() { // want `no _test.go .* declares`
+	return h
+}
+
+func (s *server) handler() {
+	s.instrument("healthz", nil)
+}

@@ -1,0 +1,21 @@
+// Package positive registers more endpoints than its roster lists: the
+// unlisted ones must be flagged, the listed ones must not.
+package positive
+
+import "net/http"
+
+type server struct {
+	mux *http.ServeMux
+}
+
+func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return h
+}
+
+func (s *server) handler() {
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", nil))
+	s.mux.HandleFunc("GET /v1/level", s.instrument("level", nil))
+	s.mux.HandleFunc("GET /v1/slice", s.instrument("slice", nil))       // want `endpoint "slice" is instrumented but missing from expectedMetricEndpoints`
+	s.mux.HandleFunc("PUT /v1/ingest", s.instrument("ingest", nil))     // want `endpoint "ingest" is instrumented but missing from expectedMetricEndpoints`
+	s.mux.HandleFunc("GET /v1/suppress", s.instrument("suppress", nil)) //lint:ignore mrlint/obsspan exercised by the suppression-convention fixture
+}

@@ -1,0 +1,3 @@
+package positive
+
+var expectedMetricEndpoints = []string{"healthz", "level"}

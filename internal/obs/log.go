@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Logger writes structured key=value lines (the access-log and slow-log
+// format): one "ts=<RFC3339Nano> k=v k=v ..." line per call, whole lines
+// written atomically so concurrent handlers never interleave mid-line.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // test seam
+}
+
+// NewLogger builds a logger writing to w. A nil w yields a logger whose
+// Log is a no-op, so callers can thread an optional logger without checks.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w, now: time.Now}
+}
+
+// Log writes one line from alternating key/value pairs (a trailing odd key
+// is dropped). Values containing spaces, quotes, or '=' are quoted.
+func (l *Logger) Log(pairs ...string) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format(time.RFC3339Nano))
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(pairs[i])
+		b.WriteByte('=')
+		b.WriteString(quoteValue(pairs[i+1]))
+	}
+	b.WriteByte('\n')
+	line := b.String()
+	l.mu.Lock()
+	// The line is fully formatted before the lock; the guarded region is
+	// exactly one Write, which is what makes concurrent lines atomic.
+	//lint:ignore mrlint/lockio the write IS the protected operation; this mutex serializes log lines, it guards no decode or shared state
+	io.WriteString(l.w, line)
+	l.mu.Unlock()
+}
+
+// quoteValue quotes a value only when the plain form would be ambiguous.
+func quoteValue(v string) string {
+	if v == "" {
+		return `""`
+	}
+	if strings.ContainsAny(v, " \t\n\"=") {
+		return `"` + strings.NewReplacer(`"`, `\"`, "\n", `\n`).Replace(v) + `"`
+	}
+	return v
+}
+
+// Sampler admits one in every N events — the access log's rate limiter
+// under load. every == 1 admits everything; every <= 0 admits nothing.
+type Sampler struct {
+	every int64
+	n     atomic.Int64
+}
+
+// NewSampler builds a sampler admitting one in every `every` calls.
+func NewSampler(every int) *Sampler {
+	return &Sampler{every: int64(every)}
+}
+
+// Allow reports whether this event is in the sample.
+func (s *Sampler) Allow() bool {
+	if s == nil || s.every <= 0 {
+		return false
+	}
+	if s.every == 1 {
+		return true
+	}
+	return s.n.Add(1)%s.every == 1
+}

@@ -1,0 +1,45 @@
+// Package obs is the stdlib-only observability substrate of the serving
+// stack: request tracing, latency histograms, and structured logging, built
+// so the layers above it (mrserve, the random-access reader, the codec
+// registry, the fault/retry layer) can report what they spend time on
+// without importing anything but this package.
+//
+// The pieces compose around context.Context:
+//
+//   - a Collector owns a bounded ring of recent request traces plus one
+//     fixed-bucket latency Histogram per pipeline stage;
+//   - Collector.StartTrace hangs a Trace off the context; StartSpan /
+//     Record / Eventf then attach timed spans (and retry/fault events) to
+//     whatever trace the context carries, from any layer, with no plumbing
+//     beyond the ctx that request handlers already propagate;
+//   - finished traces land in the ring (served by mrserve's /debug/traces)
+//     and every span's duration feeds the collector's per-stage histogram,
+//     so the same instrumentation produces both the per-request waterfall
+//     and the fleet-wide p50/p99.
+//
+// All of it is nil-tolerant: a context without a trace makes StartSpan
+// return a nil *Span whose methods no-op, so instrumented library code (the
+// reader, codecs) costs almost nothing when no one is tracing.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// idFallback feeds NewID when crypto/rand fails (it effectively never
+// does); a process-unique counter still yields distinct IDs.
+var idFallback atomic.Int64
+
+// NewID returns a fresh 16-hex-digit request/trace ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := idFallback.Add(1)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -26,7 +26,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/index"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // DefaultCacheBytes is the budget of the private brick cache a Reader
@@ -159,6 +162,14 @@ type Reader struct {
 // It reads the index footer (plus nothing else); unindexed containers cost
 // one full sequential scan up front.
 func Open(src io.ReaderAt, size int64, opts ...Option) (*Reader, error) {
+	return OpenCtx(context.Background(), src, size, opts...)
+}
+
+// OpenCtx is Open under a context: when ctx carries a trace (internal/obs)
+// the footer read — or, for unindexed containers, the full sequential
+// fallback scan — appears as a span on it, so a request that pays a cold
+// open shows exactly where the time went.
+func OpenCtx(ctx context.Context, src io.ReaderAt, size int64, opts ...Option) (*Reader, error) {
 	r := &Reader{size: size, verify: true, retryPolicy: faultio.DefaultRetryPolicy}
 	for _, o := range opts {
 		o(r)
@@ -186,10 +197,14 @@ func Open(src io.ReaderAt, size int64, opts ...Option) (*Reader, error) {
 	if r.id == "" {
 		r.id = fmt.Sprintf("mrw#%d", nextID.Add(1))
 	}
-	ix, err := index.ReadFrom(src, size)
+	ix, err := func() (*index.Index, error) {
+		_, sp := obs.StartSpan(ctx, "footer_read")
+		defer sp.End()
+		return index.ReadFrom(src, size)
+	}()
 	if err == nil {
 		r.ix = ix
-	} else {
+	} else if err := func() error {
 		// No footer (v1/v2, or truncated away) or a corrupt one (CRC
 		// mismatch, implausible contents): the body may still be perfectly
 		// intact, so degrade to one sequential scan rather than becoming
@@ -197,26 +212,43 @@ func Open(src io.ReaderAt, size int64, opts ...Option) (*Reader, error) {
 		// subsequent reads go back to src directly — the scan buffer is
 		// not retained (it would pin the whole container outside the
 		// brick-cache budget).
+		sctx, sp := obs.StartSpan(ctx, "fallback_scan")
+		defer sp.End()
 		blob := make([]byte, size)
-		if _, err := src.ReadAt(blob, 0); err != nil {
-			return nil, fmt.Errorf("reader: scanning unindexed container: %w", err)
+		if _, err := readAtCtx(sctx, src, blob, 0); err != nil {
+			return fmt.Errorf("reader: scanning unindexed container: %w", err)
 		}
 		r.bytesRead.Add(size)
 		ix, err := core.BuildIndex(blob)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Re-validate through the footer parser: the sequential body scan
 		// is laxer about box geometry than index.Parse, and everything
 		// downstream (SetBlock placement) relies on its bounds.
 		section := ix.AppendFooter(nil)
 		if r.ix, err = index.Parse(section[:len(section)-index.TrailerLen], size); err != nil {
-			return nil, err
+			return err
 		}
 		r.fellBack = true
+		return nil
+	}(); err != nil {
+		return nil, err
 	}
 	r.opt = core.OptionsFromIndex(r.ix.Opts)
 	return r, nil
+}
+
+// readAtCtx routes a positioned read through the source's context-aware
+// path when it has one (faultio.RetryReaderAt.ReadAtCtx), so retry events
+// land on the request trace and cancellation stops the retry loop.
+func readAtCtx(ctx context.Context, src io.ReaderAt, p []byte, off int64) (int, error) {
+	if rc, ok := src.(interface {
+		ReadAtCtx(context.Context, []byte, int64) (int, error)
+	}); ok {
+		return rc.ReadAtCtx(ctx, p, off)
+	}
+	return src.ReadAt(p, off)
 }
 
 // FileReader is a Reader over an opened file.
@@ -236,6 +268,11 @@ func (fr *FileReader) Stat() (os.FileInfo, error) { return fr.f.Stat() }
 
 // OpenFile opens a container file for random access.
 func OpenFile(path string, opts ...Option) (*FileReader, error) {
+	return OpenFileCtx(context.Background(), path, opts...)
+}
+
+// OpenFileCtx is OpenFile under a context (see OpenCtx).
+func OpenFileCtx(ctx context.Context, path string, opts ...Option) (*FileReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -245,7 +282,7 @@ func OpenFile(path string, opts ...Option) (*FileReader, error) {
 		f.Close()
 		return nil, err
 	}
-	r, err := Open(f, st.Size(), append([]Option{WithCacheKey(path)}, opts...)...)
+	r, err := OpenCtx(ctx, f, st.Size(), append([]Option{WithCacheKey(path)}, opts...)...)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -287,13 +324,17 @@ func (r *Reader) Stats() Stats {
 	}
 }
 
-// cached wraps the brick cache with reader-local hit/miss accounting.
-func (r *Reader) cachedField(key string) (*field.Field, bool) {
+// cached wraps the brick cache with reader-local hit/miss accounting. The
+// probe lands on the request trace as a cache_hit or cache_miss leaf span.
+func (r *Reader) cachedField(ctx context.Context, key string) (*field.Field, bool) {
+	start := time.Now()
 	if v, ok := r.cache.Get(key); ok {
 		r.cacheHits.Add(1)
+		obs.Record(ctx, "cache_hit", start, "key", key)
 		return v.(*field.Field), true
 	}
 	r.cacheMisses.Add(1)
+	obs.Record(ctx, "cache_miss", start, "key", key)
 	return nil, false
 }
 
@@ -319,23 +360,32 @@ func (r *Reader) fetchStream(ctx context.Context, si int) (*field.Field, error) 
 	}
 	s := r.ix.Streams[si]
 	payload := make([]byte, s.Len)
-	if _, err := r.src.ReadAt(payload, s.Offset); err != nil {
-		err = fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err)
+	if err := func() error {
+		// The positioned read plus integrity check is the "stream_read"
+		// stage: fetching verified compressed bytes, before any codec runs.
+		rctx, sp := obs.StartSpan(ctx, "stream_read")
+		defer sp.End()
+		sp.SetTag("stream", fmt.Sprintf("L%dB%d", s.Level, s.Box))
+		if _, err := readAtCtx(rctx, r.src, payload, s.Offset); err != nil {
+			return fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err)
+		}
+		r.bytesRead.Add(s.Len)
+		if r.verify && r.ix.StreamCRCs {
+			if got := crc32.ChecksumIEEE(payload); got != s.CRC {
+				return faultio.Corrupt(fmt.Errorf("reader: stream L%dB%d: payload CRC %08x, index says %08x",
+					s.Level, s.Box, got, s.CRC))
+			}
+		}
+		return nil
+	}(); err != nil {
 		if faultio.IsCorrupt(err) {
 			r.corruptStreams.Add(1)
 		}
 		return nil, err
 	}
-	r.bytesRead.Add(s.Len)
-	if r.verify && r.ix.StreamCRCs {
-		if got := crc32.ChecksumIEEE(payload); got != s.CRC {
-			return nil, r.markCorrupt(fmt.Errorf("reader: stream L%dB%d: payload CRC %08x, index says %08x",
-				s.Level, s.Box, got, s.CRC))
-		}
-	}
 	opt := r.opt
 	opt.Compressor = core.Compressor(s.Compressor)
-	f, err := core.DecodeStream(payload, opt)
+	f, err := core.DecodeStreamCtx(ctx, payload, opt)
 	if err != nil {
 		return nil, r.markCorrupt(fmt.Errorf("reader: stream L%dB%d: %w", s.Level, s.Box, err))
 	}
@@ -351,7 +401,7 @@ func (r *Reader) fetchStream(ctx context.Context, si int) (*field.Field, error) 
 func (r *Reader) boxBrick(ctx context.Context, si int) (*field.Field, error) {
 	s := r.ix.Streams[si]
 	key := fmt.Sprintf("%s/L%d/B%d", r.id, s.Level, s.Box)
-	if f, ok := r.cachedField(key); ok {
+	if f, ok := r.cachedField(ctx, key); ok {
 		return f, nil
 	}
 	f, err := r.fetchStream(ctx, si)
@@ -371,7 +421,7 @@ func (r *Reader) boxBrick(ctx context.Context, si int) (*field.Field, error) {
 // cache. Valid only for non-TAC streams.
 func (r *Reader) levelField(ctx context.Context, l int) (*field.Field, error) {
 	key := fmt.Sprintf("%s/L%d", r.id, l)
-	if f, ok := r.cachedField(key); ok {
+	if f, ok := r.cachedField(ctx, key); ok {
 		return f, nil
 	}
 	nx, ny, nz := r.ix.LevelDims(l)
@@ -435,6 +485,9 @@ func (r *Reader) ReadLevelCtx(ctx context.Context, l int) (*field.Field, error) 
 	if err := r.checkLevel(l); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "read_level")
+	sp.SetTag("level", strconv.Itoa(l))
+	defer sp.End()
 	if !r.isTAC() {
 		return r.levelField(ctx, l)
 	}
@@ -471,6 +524,10 @@ func (r *Reader) ReadBoxCtx(ctx context.Context, l, b int) (*field.Field, layout
 	if b < 0 || b >= len(streams) {
 		return nil, layout.Box{}, fmt.Errorf("reader: box %d out of range [0,%d) in level %d", b, len(streams), l)
 	}
+	ctx, sp := obs.StartSpan(ctx, "read_box")
+	sp.SetTag("level", strconv.Itoa(l))
+	sp.SetTag("box", strconv.Itoa(b))
+	defer sp.End()
 	si := streams[b]
 	f, err := r.boxBrick(ctx, si)
 	if err != nil {
@@ -501,6 +558,11 @@ func (r *Reader) ReadSliceCtx(ctx context.Context, axis Axis, k, l int) (*field.
 	if k < 0 || k >= dim[axis] {
 		return nil, fmt.Errorf("reader: slice %v=%d out of range [0,%d)", axis, k, dim[axis])
 	}
+	ctx, sp := obs.StartSpan(ctx, "read_slice")
+	sp.SetTag("axis", axis.String())
+	sp.SetTag("k", strconv.Itoa(k))
+	sp.SetTag("level", strconv.Itoa(l))
+	defer sp.End()
 	onx, ony, onz := nx, ny, nz
 	switch axis {
 	case AxisX:

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -15,7 +15,7 @@ import (
 )
 
 // codecTestServer builds an empty serving directory.
-func codecTestServer(t *testing.T) (*httptest.Server, *server) {
+func codecTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
 	s, err := newServer(t.TempDir(), 64<<20, 1<<30, 8)
 	if err != nil {

@@ -1,4 +1,4 @@
-package main
+package serve
 
 // Graceful degradation: mrserve turns stream-level corruption into coarser
 // answers instead of 500s. A level whose streams fail integrity checks is
@@ -123,7 +123,7 @@ func (q *quarantine) levelsFor(id string) []int {
 
 // quarantineLevel records a corrupt level in the negative cache and counts
 // the event.
-func (s *server) quarantineLevel(id string, level int) {
+func (s *Server) quarantineLevel(id string, level int) {
 	if s.quar.add(id, level) {
 		s.metrics.quarantineEvents.Add(1)
 	}
@@ -142,7 +142,7 @@ func degradedHeader(requested, served int, reason string) string {
 // Non-corrupt errors — context cancellation, transient faults that
 // outlasted the retry budget, missing files — abort the walk: degradation
 // is a remedy for bad bytes, not for an unreachable backend.
-func (s *server) readLevelDegraded(ctx context.Context, rd *reader.FileReader, id string, l int) (*field.Field, int, string, error) {
+func (s *Server) readLevelDegraded(ctx context.Context, rd *reader.FileReader, id string, l int) (*field.Field, int, string, error) {
 	reason := ""
 	var lastErr error
 	for lv := l; lv < rd.NumLevels(); lv++ {
@@ -172,7 +172,7 @@ func (s *server) readLevelDegraded(ctx context.Context, rd *reader.FileReader, i
 // readSliceDegraded is readLevelDegraded for plane extraction: on fallback
 // the plane index is rescaled to the coarser grid (k >> levels dropped,
 // clamped), so the served slice covers the same physical cut.
-func (s *server) readSliceDegraded(ctx context.Context, rd *reader.FileReader, id string, axis reader.Axis, k, l int) (*field.Field, int, int, string, error) {
+func (s *Server) readSliceDegraded(ctx context.Context, rd *reader.FileReader, id string, axis reader.Axis, k, l int) (*field.Field, int, int, string, error) {
 	reason := ""
 	var lastErr error
 	for lv := l; lv < rd.NumLevels(); lv++ {
@@ -204,10 +204,14 @@ func (s *server) readSliceDegraded(ctx context.Context, rd *reader.FileReader, i
 	return nil, -1, -1, "", lastErr
 }
 
-// parseFaultPlan parses the -fault-inject spec: comma-separated key=value
+// ParseFaultPlan parses the -fault-inject spec: comma-separated key=value
 // pairs (seed, transient, bitflip, shortread, latency, maxfaults), e.g.
 // "seed=7,transient=0.05,maxfaults=100". Used by the fault-injected smoke
 // test in CI and for resilience drills against a staging instance.
+func ParseFaultPlan(spec string) (faultio.FaultPlan, error) {
+	return parseFaultPlan(spec)
+}
+
 func parseFaultPlan(spec string) (faultio.FaultPlan, error) {
 	plan := faultio.FaultPlan{Seed: 1}
 	for _, kv := range strings.Split(spec, ",") {

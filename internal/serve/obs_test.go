@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// syncBuffer is a mutex-guarded log sink: the handler's deferred log write
+// may still be running when the client already has the response.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitFor polls the buffer until substr shows up (the handler's deferred
+// accounting runs after the response is on the wire).
+func (s *syncBuffer) waitFor(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if line := s.String(); strings.Contains(line, substr) || time.Now().After(deadline) {
+			return line
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// expectedMetricEndpoints is the instrumented-endpoint roster the metrics
+// tests assert histogram series for. The mrlint obsspan check verifies
+// every endpoint registered through Server.instrument appears here, so a
+// new endpoint cannot ship without joining the metrics contract.
+var expectedMetricEndpoints = []string{"healthz", "fields", "meta", "level", "slice", "ingest"}
+
+// TestRequestIDEcho pins the trace-identity contract: a client-supplied
+// X-Request-Id comes back verbatim, and a request without one gets a
+// generated ID.
+func TestRequestIDEcho(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/field/nyx/level/0", nil)
+	req.Header.Set("X-Request-Id", "my-req-007")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "my-req-007" {
+		t.Fatalf("X-Request-Id echoed %q, want my-req-007", got)
+	}
+	code, _, hdr := get(t, ts.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("healthz %d", code)
+	}
+	if gen := hdr.Get("X-Request-Id"); len(gen) != 16 {
+		t.Fatalf("generated X-Request-Id %q, want 16 hex chars", gen)
+	}
+}
+
+// tracesResponse mirrors the /debug/traces JSON shape.
+type tracesResponse struct {
+	Traces []obs.TraceSnapshot `json:"traces"`
+}
+
+// TestTraceSpansChain is the acceptance criterion: a traced level request
+// must show at least the serve → read → decode span chain, each span with a
+// recorded duration, retrievable by the request's trace ID.
+func TestTraceSpansChain(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/field/nyx/level/0", nil)
+	req.Header.Set("X-Request-Id", "chain-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("level: %d", resp.StatusCode)
+	}
+
+	code, body, _ := get(t, ts.URL+"/debug/traces")
+	if code != 200 {
+		t.Fatalf("/debug/traces: %d", code)
+	}
+	var tr tracesResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("/debug/traces not JSON: %v\n%s", err, body)
+	}
+	var found *obs.TraceSnapshot
+	for i := range tr.Traces {
+		if tr.Traces[i].ID == "chain-trace-1" {
+			found = &tr.Traces[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace chain-trace-1 not in ring (%d traces)", len(tr.Traces))
+	}
+	spans := map[string]obs.SpanSnapshot{}
+	for _, sp := range found.Spans {
+		spans[sp.Name] = sp
+	}
+	for _, name := range []string{"serve:level", "read_level", "decode"} {
+		sp, ok := spans[name]
+		if !ok {
+			t.Fatalf("trace missing span %q (has %v)", name, found.Spans)
+		}
+		if sp.DurationNs <= 0 {
+			t.Errorf("span %q has no duration", name)
+		}
+	}
+	if found.Attrs["endpoint"] != "level" || found.Attrs["status"] != "200" {
+		t.Errorf("trace attrs %v", found.Attrs)
+	}
+	// The chain nests: read_level under the serve root, decode under
+	// read_level.
+	if spans["read_level"].Parent != "serve:level" {
+		t.Errorf("read_level parent %q", spans["read_level"].Parent)
+	}
+	if spans["decode"].Parent != "read_level" {
+		t.Errorf("decode parent %q", spans["decode"].Parent)
+	}
+}
+
+// TestMetricsHistograms asserts /metrics serves a complete histogram
+// series (_bucket/_sum/_count) for every instrumented endpoint, stage
+// histograms for the read path, and that every pre-histogram metric name
+// is still present (the compatibility half of metrics v2).
+func TestMetricsHistograms(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	for _, path := range []string{"/v1/field/nyx/level/0", "/v1/field/nyx/slice?axis=z&k=1", "/v1/fields", "/v1/field/nyx/meta", "/healthz"} {
+		if code, body, _ := get(t, ts.URL+path); code != 200 {
+			t.Fatalf("%s: %d %s", path, code, body)
+		}
+	}
+	code, body, _ := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	text := string(body)
+	for _, e := range expectedMetricEndpoints {
+		for _, series := range []string{
+			fmt.Sprintf(`mrserve_request_duration_seconds_bucket{endpoint=%q,le="+Inf"}`, e),
+			fmt.Sprintf(`mrserve_request_duration_seconds_sum{endpoint=%q}`, e),
+			fmt.Sprintf(`mrserve_request_duration_seconds_count{endpoint=%q}`, e),
+		} {
+			if !strings.Contains(text, series) {
+				t.Errorf("missing histogram series %s", series)
+			}
+		}
+	}
+	for _, stage := range []string{"read_level", "decode", "stream_read"} {
+		if !strings.Contains(text, fmt.Sprintf(`mrserve_stage_duration_seconds_count{stage=%q}`, stage)) {
+			t.Errorf("missing stage histogram for %q", stage)
+		}
+	}
+	// Every metric name from before the histogram migration must survive.
+	for _, name := range []string{
+		"mrserve_requests_total", "mrserve_request_errors_total", "mrserve_request_seconds_total",
+		"mrserve_cache_hits_total", "mrserve_cache_misses_total", "mrserve_cache_evictions_total",
+		"mrserve_cache_bytes", "mrserve_cache_budget_bytes", "mrserve_cache_entries",
+		"mrserve_backend_decodes_total", "mrserve_compressed_bytes_read_total", "mrserve_fields_open",
+		"mrserve_read_retries_total", "mrserve_corrupt_streams_total",
+		"mrserve_field_read_retries_total", "mrserve_field_corrupt_streams_total",
+		"mrserve_degraded_responses_total", "mrserve_quarantine_events_total",
+		"mrserve_quarantined_levels", "mrserve_handler_panics_total", "mrserve_temps_swept_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("pre-existing metric %s disappeared from /metrics", name)
+		}
+	}
+	// The level request above decoded through the histogram path: its
+	// count must be nonzero.
+	if !strings.Contains(text, `mrserve_request_duration_seconds_count{endpoint="level"} 1`) {
+		t.Errorf("level histogram count not 1:\n%s", grepLines(text, "mrserve_request_duration_seconds_count"))
+	}
+}
+
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestAccessLog wires a log writer at sample rate 1 and checks each
+// request emits one key=value line carrying the trace ID and outcome.
+func TestAccessLog(t *testing.T) {
+	ts, s, _ := newTestServer(t)
+	var buf syncBuffer
+	s.accessLog = obs.NewLogger(&buf)
+	s.logSample = obs.NewSampler(1)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/field/nyx/level/0", nil)
+	req.Header.Set("X-Request-Id", "logged-req")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	line := buf.waitFor(t, "trace=logged-req")
+	for _, want := range []string{"trace=logged-req", "endpoint=level", "status=200", "degraded=false", "dur="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log missing %q: %s", want, line)
+		}
+	}
+}
+
+// TestSlowRequestLog sets a zero-distance slow threshold and checks the
+// trace lands in the slow log with its span breakdown.
+func TestSlowRequestLog(t *testing.T) {
+	ts, s, _ := newTestServer(t)
+	var buf syncBuffer
+	s.obs.SetSlowLog(time.Nanosecond, obs.NewLogger(&buf))
+	code, _, _ := get(t, ts.URL+"/v1/field/nyx/level/0")
+	if code != 200 {
+		t.Fatalf("level: %d", code)
+	}
+	line := buf.waitFor(t, "slow_request=true")
+	for _, want := range []string{"slow_request=true", "endpoint=level", "read_level:"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow log missing %q: %s", want, line)
+		}
+	}
+}
+
+// TestTraceRingBounded: the /debug/traces ring honors its configured size.
+func TestTraceRingBounded(t *testing.T) {
+	ts, s, _ := newTestServer(t)
+	_ = s
+	for i := 0; i < 12; i++ {
+		get(t, ts.URL+"/healthz")
+	}
+	code, body, _ := get(t, ts.URL+"/debug/traces?n=5")
+	if code != 200 {
+		t.Fatalf("/debug/traces: %d", code)
+	}
+	var tr tracesResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Traces) != 5 {
+		t.Fatalf("?n=5 returned %d traces", len(tr.Traces))
+	}
+}

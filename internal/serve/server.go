@@ -1,10 +1,21 @@
-package main
+// Package serve implements the mrserve progressive serving daemon as an
+// importable library: the HTTP surface (fields/meta/level/slice/ingest), the
+// stat-revalidated reader pool over a shared brick cache, corruption
+// quarantine with graceful degradation, and the observability plane —
+// per-request traces (X-Request-Id, GET /debug/traces), per-endpoint and
+// per-stage latency histograms on GET /metrics, and structured access/slow
+// logs. cmd/mrserve is a thin flag wrapper around New + Handler; the
+// traffic benchmark (mrbench -exp traffic) drives the same Server
+// in-process.
+package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	"net/url"
@@ -22,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultio"
 	"repro/internal/field"
+	"repro/internal/obs"
 	"repro/internal/reader"
 	"repro/internal/writer"
 )
@@ -33,7 +45,7 @@ import (
 // the next request instead of being served stale forever. All readers share
 // one brick cache, so the byte budget bounds decoded memory across the
 // whole directory regardless of how many fields are hot.
-type server struct {
+type Server struct {
 	dir            string
 	cache          *cache.Cache
 	maxIngestBytes int64
@@ -52,11 +64,82 @@ type server struct {
 	summaries map[string]cachedSummary
 
 	metrics metricsRegistry
+	// obs owns the bounded trace ring (GET /debug/traces), the per-stage
+	// latency histograms, and slow-request logging; every instrumented
+	// request runs under one of its traces.
+	obs *obs.Collector
+	// accessLog, when non-nil, receives one structured key=value line per
+	// sampled request (and the collector's slow-request lines).
+	accessLog *obs.Logger
+	logSample *obs.Sampler
 }
 
-// defaultQuarantineTTL bounds how long a corrupt level is written off
+// DefaultQuarantineTTL bounds how long a corrupt level is written off
 // before it is probed again (-quarantine-ttl overrides).
-const defaultQuarantineTTL = time.Minute
+const DefaultQuarantineTTL = time.Minute
+
+// Config configures a Server (the flag surface of cmd/mrserve, importable
+// so tests and the traffic benchmark can run the real serving path
+// in-process).
+type Config struct {
+	// Dir is the directory of .mrw containers to serve.
+	Dir string
+	// CacheBytes is the shared brick-cache budget (0 disables caching).
+	CacheBytes int64
+	// MaxIngestBytes caps the raw field size PUT ingest accepts.
+	MaxIngestBytes int64
+	// CacheShards is the brick cache shard count.
+	CacheShards int
+	// QuarantineTTL overrides DefaultQuarantineTTL when > 0.
+	QuarantineTTL time.Duration
+	// TraceRing sizes the recent-trace ring (0 = obs.DefaultRingSize).
+	TraceRing int
+	// TraceSlow, when > 0, logs every request at least this slow to
+	// LogWriter with its span breakdown.
+	TraceSlow time.Duration
+	// LogSample emits one access-log line per LogSample requests to
+	// LogWriter (1 = every request, 0 = no access log).
+	LogSample int
+	// LogWriter is the structured-log destination (nil disables both the
+	// access log and the slow-request log).
+	LogWriter io.Writer
+	// ReaderOptions is appended to every container open — the
+	// fault-injection and policy seam (-fault-inject, tests).
+	ReaderOptions []reader.Option
+}
+
+// New builds a Server from a Config.
+func New(cfg Config) (*Server, error) {
+	st, err := os.Stat(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("mrserve: %s is not a directory", cfg.Dir)
+	}
+	ttl := cfg.QuarantineTTL
+	if ttl <= 0 {
+		ttl = DefaultQuarantineTTL
+	}
+	col := obs.NewCollector(cfg.TraceRing)
+	logger := obs.NewLogger(cfg.LogWriter)
+	if cfg.TraceSlow > 0 {
+		col.SetSlowLog(cfg.TraceSlow, logger)
+	}
+	return &Server{
+		dir:            cfg.Dir,
+		cache:          cache.New(cfg.CacheBytes, cfg.CacheShards),
+		maxIngestBytes: cfg.MaxIngestBytes,
+		quar:           newQuarantine(ttl),
+		readerOpts:     cfg.ReaderOptions,
+		readers:        make(map[string]*readerEntry),
+		summaries:      make(map[string]cachedSummary),
+		metrics:        newMetricsRegistry(),
+		obs:            col,
+		accessLog:      logger,
+		logSample:      obs.NewSampler(cfg.LogSample),
+	}, nil
+}
 
 // cachedSummary is a listing entry plus the file identity it was computed
 // from.
@@ -107,30 +190,17 @@ func (e *readerEntry) release() {
 	}
 }
 
-func newServer(dir string, cacheBytes, maxIngestBytes int64, shards int) (*server, error) {
-	st, err := os.Stat(dir)
-	if err != nil {
-		return nil, err
-	}
-	if !st.IsDir() {
-		return nil, fmt.Errorf("mrserve: %s is not a directory", dir)
-	}
-	return &server{
-		dir:            dir,
-		cache:          cache.New(cacheBytes, shards),
-		maxIngestBytes: maxIngestBytes,
-		quar:           newQuarantine(defaultQuarantineTTL),
-		readers:        make(map[string]*readerEntry),
-		summaries:      make(map[string]cachedSummary),
-		metrics:        newMetricsRegistry(),
-	}, nil
+// newServer is the compact constructor tests use.
+func newServer(dir string, cacheBytes, maxIngestBytes int64, shards int) (*Server, error) {
+	return New(Config{Dir: dir, CacheBytes: cacheBytes, MaxIngestBytes: maxIngestBytes, CacheShards: shards})
 }
 
-// handler builds the route table.
-func (s *server) handler() http.Handler {
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes shouldn't skew latency stats
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/fields", s.instrument("fields", s.handleFields))
 	mux.HandleFunc("GET /v1/field/{id}/meta", s.instrument("meta", s.handleMeta))
 	mux.HandleFunc("GET /v1/field/{id}/level/{level}", s.instrument("level", s.handleLevel))
@@ -139,8 +209,44 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
+// handler is Handler (the tests' spelling, kept for brevity at call sites).
+func (s *Server) handler() http.Handler { return s.Handler() }
+
+// Collector exposes the server's observability collector: the trace ring
+// and per-stage histograms (the debug listener mounts its /debug/traces
+// from it, the traffic benchmark reads its stage latencies).
+func (s *Server) Collector() *obs.Collector { return s.obs }
+
+// TracesHandler serves the recent-trace ring as JSON, newest first
+// (?n=limit). Mounted at GET /debug/traces on both the serving mux and the
+// opt-in debug listener.
+func (s *Server) TracesHandler() http.HandlerFunc { return s.handleTraces }
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil {
+			n = parsed
+		}
+	}
+	writeJSON(w, map[string]any{"traces": s.obs.Traces(n)})
+}
+
+// EndpointHistograms snapshots the per-endpoint request-latency histograms
+// (the traffic benchmark's quantile source).
+func (s *Server) EndpointHistograms() map[string]obs.HistogramSnapshot {
+	out := make(map[string]obs.HistogramSnapshot, len(endpoints))
+	for _, e := range endpoints {
+		out[e] = s.metrics.latency[e].Snapshot()
+	}
+	return out
+}
+
+// Close releases every open reader (test teardown / shutdown).
+func (s *Server) Close() { s.close() }
+
 // close releases every open reader (test teardown / shutdown).
-func (s *server) close() {
+func (s *Server) close() {
 	s.mu.Lock()
 	entries := s.readers
 	s.readers = make(map[string]*readerEntry)
@@ -153,8 +259,11 @@ func (s *server) close() {
 	}
 }
 
+// FieldIDs lists the ids currently present in the directory.
+func (s *Server) FieldIDs() ([]string, error) { return s.fieldIDs() }
+
 // fieldIDs lists the ids currently present in the directory.
-func (s *server) fieldIDs() ([]string, error) {
+func (s *Server) fieldIDs() ([]string, error) {
 	matches, err := filepath.Glob(filepath.Join(s.dir, "*.mrw"))
 	if err != nil {
 		return nil, err
@@ -178,7 +287,7 @@ func validID(id string) bool {
 // server mutex covers only the map lookup and stat-revalidation; the open
 // itself runs under the entry's once, so concurrent requests for other
 // fields are never blocked by it.
-func (s *server) getReader(id string) (*reader.FileReader, func(), error) {
+func (s *Server) getReader(ctx context.Context, id string) (*reader.FileReader, func(), error) {
 	if !validID(id) {
 		return nil, nil, errBadID
 	}
@@ -221,7 +330,10 @@ func (s *server) getReader(id string) (*reader.FileReader, func(), error) {
 	}
 	e.once.Do(func() {
 		opts := append([]reader.Option{reader.WithCache(s.cache), reader.WithCacheKey(id)}, s.readerOpts...)
-		r, err := reader.OpenFile(path, opts...)
+		// The opening request's trace gets the footer_read (or
+		// fallback_scan) span; requests that join a completed once pay
+		// nothing.
+		r, err := reader.OpenFileCtx(ctx, path, opts...)
 		var size int64
 		var modTime time.Time
 		if err == nil {
@@ -254,7 +366,7 @@ func (s *server) getReader(id string) (*reader.FileReader, func(), error) {
 // dropFieldLocked forgets every cached artifact of a field — the open
 // reader (closed when its last in-flight request finishes), the listing
 // summary, and its decoded bricks in the shared cache. Callers hold s.mu.
-func (s *server) dropFieldLocked(id string) {
+func (s *Server) dropFieldLocked(id string) {
 	if e, ok := s.readers[id]; ok {
 		delete(s.readers, id)
 		e.release() // the map's reference
@@ -268,7 +380,7 @@ func (s *server) dropFieldLocked(id string) {
 
 // invalidateField is dropFieldLocked behind the server mutex (the ingest
 // path's post-replace hook).
-func (s *server) invalidateField(id string) {
+func (s *Server) invalidateField(id string) {
 	s.mu.Lock()
 	s.dropFieldLocked(id)
 	s.mu.Unlock()
@@ -282,7 +394,7 @@ var errBadID = fmt.Errorf("invalid field id")
 // corruption with no intact fallback is 500 with an explicit message, and a
 // canceled request context gets nginx's conventional 499 (the client is
 // gone; the code is for the access log, not the wire).
-func (s *server) httpError(w http.ResponseWriter, err error) {
+func (s *Server) httpError(w http.ResponseWriter, err error) {
 	switch {
 	case err == errBadID:
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -334,7 +446,7 @@ type fieldHealth struct {
 // retry/corruption counters and quarantined levels, and the process-wide
 // totals. The body always contains the substring "ok" in the status field —
 // the deploy smoke greps for it.
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	var retries, corrupt int64
 	fields := make(map[string]fieldHealth)
 	s.mu.Lock()
@@ -381,7 +493,7 @@ type fieldSummary struct {
 // holding its container open: an already-open reader is reused, otherwise
 // the cached summary is served, otherwise a transient reader computes one
 // and is closed again.
-func (s *server) summarize(id string, st os.FileInfo) (fieldSummary, error) {
+func (s *Server) summarize(id string, st os.FileInfo) (fieldSummary, error) {
 	s.mu.Lock()
 	// An open reader is only trusted while it still matches the file on
 	// disk; a replaced container falls through to the stat-validated
@@ -420,7 +532,7 @@ func makeSummary(id string, rd *reader.Reader, st os.FileInfo) fieldSummary {
 	}
 }
 
-func (s *server) handleFields(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFields(w http.ResponseWriter, r *http.Request) {
 	ids, err := s.fieldIDs()
 	if err != nil {
 		s.httpError(w, err)
@@ -455,8 +567,8 @@ type levelMeta struct {
 	RawBytes        int64  `json:"raw_bytes"`
 }
 
-func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
-	rd, release, err := s.getReader(r.PathValue("id"))
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	rd, release, err := s.getReader(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.httpError(w, err)
 		return
@@ -500,8 +612,8 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleLevel(w http.ResponseWriter, r *http.Request) {
-	rd, release, err := s.getReader(r.PathValue("id"))
+func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
+	rd, release, err := s.getReader(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.httpError(w, err)
 		return
@@ -530,8 +642,8 @@ func (s *server) handleLevel(w http.ResponseWriter, r *http.Request) {
 	writeField(w, r, f)
 }
 
-func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
-	rd, release, err := s.getReader(r.PathValue("id"))
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	rd, release, err := s.getReader(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.httpError(w, err)
 		return
@@ -653,7 +765,7 @@ func ingestOptions(q url.Values) (repro.Options, error) {
 // reader, listing summary, decoded bricks — is invalidated, so the next
 // request serves the new data. Compression is configured by query
 // parameters (releb, eb, compressor, roiblock, roifrac).
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !validID(id) {
 		s.httpError(w, errBadID)
@@ -717,6 +829,10 @@ type metricsRegistry struct {
 	requests  map[string]*atomic.Int64
 	errors    map[string]*atomic.Int64
 	latencyNs map[string]*atomic.Int64
+	// latency is the per-endpoint request-duration histogram
+	// (mrserve_request_duration_seconds); latencyNs above stays as the
+	// pre-histogram sum-only series so existing dashboards keep working.
+	latency map[string]*obs.Histogram
 	// degraded counts responses served from a coarser level than requested
 	// (X-Degraded set), by endpoint.
 	degraded map[string]*atomic.Int64
@@ -735,6 +851,7 @@ func newMetricsRegistry() metricsRegistry {
 		requests:         make(map[string]*atomic.Int64),
 		errors:           make(map[string]*atomic.Int64),
 		latencyNs:        make(map[string]*atomic.Int64),
+		latency:          make(map[string]*obs.Histogram),
 		degraded:         make(map[string]*atomic.Int64),
 		quarantineEvents: new(atomic.Int64),
 		panics:           new(atomic.Int64),
@@ -744,6 +861,7 @@ func newMetricsRegistry() metricsRegistry {
 		m.requests[e] = new(atomic.Int64)
 		m.errors[e] = new(atomic.Int64)
 		m.latencyNs[e] = new(atomic.Int64)
+		m.latency[e] = obs.NewHistogram(nil)
 		m.degraded[e] = new(atomic.Int64)
 	}
 	return m
@@ -769,14 +887,26 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request, error, and latency counters,
-// and converts a handler panic into a counted 500 instead of tearing down
-// the connection. Decode panics are already recovered at the core layer;
-// this is the last line of defense for everything else, so one poisoned
-// request can never take a worker goroutine down with stacked state.
-func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with request, error, and latency accounting
+// (counters plus the request-duration histogram), runs it under a request
+// trace — the client's X-Request-Id, or a fresh one, echoed back on the
+// response — and converts a handler panic into a counted 500 instead of
+// tearing down the connection. Decode panics are already recovered at the
+// core layer; this is the last line of defense for everything else, so one
+// poisoned request can never take a worker goroutine down with stacked
+// state. Each completed trace lands in the /debug/traces ring; sampled
+// requests additionally emit one structured access-log line.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		ctx, tr := s.obs.StartTrace(r.Context(), reqID)
+		ctx, root := obs.StartSpan(ctx, "serve:"+name)
+		r = r.WithContext(ctx)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
@@ -786,37 +916,134 @@ func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 				// the wire; the counters still record the failure.
 				http.Error(rec, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
 			}
+			d := time.Since(start)
+			root.End()
 			s.metrics.requests[name].Add(1)
-			s.metrics.latencyNs[name].Add(time.Since(start).Nanoseconds())
+			s.metrics.latencyNs[name].Add(d.Nanoseconds())
+			s.metrics.latency[name].Observe(d)
 			if rec.status >= 400 {
 				s.metrics.errors[name].Add(1)
+			}
+			degraded := rec.Header().Get("X-Degraded") != ""
+			tr.SetAttr("endpoint", name)
+			tr.SetAttr("status", strconv.Itoa(rec.status))
+			if degraded {
+				tr.SetAttr("degraded", "true")
+			}
+			s.obs.Finish(tr)
+			if s.logSample.Allow() {
+				s.accessLog.Log(
+					"trace", reqID,
+					"endpoint", name,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", strconv.Itoa(rec.status),
+					"degraded", strconv.FormatBool(degraded),
+					"dur", d.String(),
+				)
 			}
 		}()
 		h(rec, r)
 	}
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// metricsSnapshot is everything /metrics reports, gathered under the
+// briefest possible locking so the formatter below runs lock-free: the
+// exposition text is rendered into a buffer and written in one shot,
+// keeping a slow scrape connection from ever holding the server mutex.
+type metricsSnapshot struct {
+	requests, errors, degraded map[string]int64
+	latencySec                 map[string]float64
+	latencyHist                map[string]obs.HistogramSnapshot
+	stages                     []obs.StageSnapshot
+	cache                      cache.Stats
+	perField                   map[string]reader.Stats
+	ids                        []string
+	quarActive                 int
+	quarEvents                 int64
+	panics                     int64
+	tempsSwept                 int64
+}
+
+// snapshotMetrics gathers a point-in-time copy of every exported series.
+// Counter loads are individually atomic (a scrape racing a request may see
+// adjacent counters a few events apart — standard scrape semantics); the
+// server mutex covers only the open-reader walk.
+func (s *Server) snapshotMetrics() metricsSnapshot {
+	snap := metricsSnapshot{
+		requests:   make(map[string]int64, len(endpoints)),
+		errors:     make(map[string]int64, len(endpoints)),
+		degraded:   make(map[string]int64, len(endpoints)),
+		latencySec: make(map[string]float64, len(endpoints)),
+		perField:   make(map[string]reader.Stats),
+	}
+	for _, e := range endpoints {
+		snap.requests[e] = s.metrics.requests[e].Load()
+		snap.errors[e] = s.metrics.errors[e].Load()
+		snap.degraded[e] = s.metrics.degraded[e].Load()
+		snap.latencySec[e] = float64(s.metrics.latencyNs[e].Load()) / 1e9
+	}
+	snap.latencyHist = s.EndpointHistograms()
+	snap.stages = s.obs.StageSnapshots()
+	snap.cache = s.cache.Stats()
+	s.mu.Lock()
+	for id, e := range s.readers {
+		if e.r == nil {
+			continue // open in flight or failed
+		}
+		//lint:ignore mrlint/lockio Stats only loads atomic counters, it cannot block or re-enter the registry
+		snap.perField[id] = e.r.Stats()
+		snap.ids = append(snap.ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(snap.ids)
+	snap.quarActive = s.quar.activeCount()
+	snap.quarEvents = s.metrics.quarantineEvents.Load()
+	snap.panics = s.metrics.panics.Load()
+	snap.tempsSwept = s.metrics.tempsSwept.Load()
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotMetrics()
+	var buf bytes.Buffer
+	formatMetrics(&buf, snap)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// formatMetrics renders a snapshot as Prometheus text. It takes no locks
+// and touches no live server state.
+func formatMetrics(w io.Writer, snap metricsSnapshot) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 
 	p("# HELP mrserve_requests_total Requests served, by endpoint.\n")
 	p("# TYPE mrserve_requests_total counter\n")
 	for _, e := range endpoints {
-		p("mrserve_requests_total{endpoint=%q} %d\n", e, s.metrics.requests[e].Load())
+		p("mrserve_requests_total{endpoint=%q} %d\n", e, snap.requests[e])
 	}
 	p("# HELP mrserve_request_errors_total Requests answered with status >= 400, by endpoint.\n")
 	p("# TYPE mrserve_request_errors_total counter\n")
 	for _, e := range endpoints {
-		p("mrserve_request_errors_total{endpoint=%q} %d\n", e, s.metrics.errors[e].Load())
+		p("mrserve_request_errors_total{endpoint=%q} %d\n", e, snap.errors[e])
 	}
 	p("# HELP mrserve_request_seconds_total Cumulative request wall time, by endpoint.\n")
 	p("# TYPE mrserve_request_seconds_total counter\n")
 	for _, e := range endpoints {
-		p("mrserve_request_seconds_total{endpoint=%q} %.6f\n", e, float64(s.metrics.latencyNs[e].Load())/1e9)
+		p("mrserve_request_seconds_total{endpoint=%q} %.6f\n", e, snap.latencySec[e])
+	}
+	p("# HELP mrserve_request_duration_seconds Request latency histogram, by endpoint.\n")
+	p("# TYPE mrserve_request_duration_seconds histogram\n")
+	for _, e := range endpoints {
+		snap.latencyHist[e].WriteProm(w, "mrserve_request_duration_seconds", fmt.Sprintf("endpoint=%q", e))
+	}
+	p("# HELP mrserve_stage_duration_seconds Per-stage latency histogram from request traces (cache probes, footer/stream reads, decodes, reader ops).\n")
+	p("# TYPE mrserve_stage_duration_seconds histogram\n")
+	for _, st := range snap.stages {
+		st.Hist.WriteProm(w, "mrserve_stage_duration_seconds", fmt.Sprintf("stage=%q", st.Name))
 	}
 
-	cst := s.cache.Stats()
+	cst := snap.cache
 	p("# HELP mrserve_cache_hits_total Brick cache hits.\n")
 	p("# TYPE mrserve_cache_hits_total counter\n")
 	p("mrserve_cache_hits_total %d\n", cst.Hits)
@@ -837,24 +1064,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("mrserve_cache_entries %d\n", cst.Entries)
 
 	var decodes, bytesRead, retries, corrupt int64
-	perField := make(map[string]reader.Stats)
-	ids := make([]string, 0)
-	s.mu.Lock()
-	for id, e := range s.readers {
-		if e.r == nil {
-			continue // open in flight or failed
-		}
-		//lint:ignore mrlint/lockio Stats only loads atomic counters, it cannot block or re-enter the registry
-		st := e.r.Stats()
+	perField, ids := snap.perField, snap.ids
+	for _, st := range perField {
 		decodes += st.BackendDecodes
 		bytesRead += st.BytesRead
 		retries += st.Retries
 		corrupt += st.CorruptStreams
-		perField[id] = st
-		ids = append(ids, id)
 	}
-	s.mu.Unlock()
-	sort.Strings(ids)
 	p("# HELP mrserve_backend_decodes_total Compressed streams decoded across all open fields.\n")
 	p("# TYPE mrserve_backend_decodes_total counter\n")
 	p("mrserve_backend_decodes_total %d\n", decodes)
@@ -885,20 +1101,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP mrserve_degraded_responses_total Responses served from a coarser level than requested, by endpoint.\n")
 	p("# TYPE mrserve_degraded_responses_total counter\n")
 	for _, e := range endpoints {
-		p("mrserve_degraded_responses_total{endpoint=%q} %d\n", e, s.metrics.degraded[e].Load())
+		p("mrserve_degraded_responses_total{endpoint=%q} %d\n", e, snap.degraded[e])
 	}
 	p("# HELP mrserve_quarantine_events_total Levels newly quarantined after integrity failures.\n")
 	p("# TYPE mrserve_quarantine_events_total counter\n")
-	p("mrserve_quarantine_events_total %d\n", s.metrics.quarantineEvents.Load())
+	p("mrserve_quarantine_events_total %d\n", snap.quarEvents)
 	p("# HELP mrserve_quarantined_levels Levels currently quarantined.\n")
 	p("# TYPE mrserve_quarantined_levels gauge\n")
-	p("mrserve_quarantined_levels %d\n", s.quar.activeCount())
+	p("mrserve_quarantined_levels %d\n", snap.quarActive)
 	p("# HELP mrserve_handler_panics_total Handler panics converted to 500s.\n")
 	p("# TYPE mrserve_handler_panics_total counter\n")
-	p("mrserve_handler_panics_total %d\n", s.metrics.panics.Load())
+	p("mrserve_handler_panics_total %d\n", snap.panics)
 	p("# HELP mrserve_temps_swept_total Stale write temporaries removed from the data directory.\n")
 	p("# TYPE mrserve_temps_swept_total counter\n")
-	p("mrserve_temps_swept_total %d\n", s.metrics.tempsSwept.Load())
+	p("mrserve_temps_swept_total %d\n", snap.tempsSwept)
 }
 
 // --- crash-residue sweep ----------------------------------------------------
@@ -908,9 +1124,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // the server's write timeouts, so a live ingest can never lose its file.
 const staleTempAge = time.Hour
 
+// SweepTemps removes stale AtomicFile temporaries (crash residue) from the
+// data directory once; SweepLoop repeats it on an interval.
+func (s *Server) SweepTemps() { s.sweepTemps() }
+
+// SweepLoop runs SweepTemps every interval until stop is closed.
+func (s *Server) SweepLoop(interval time.Duration, stop <-chan struct{}) {
+	s.sweepLoop(interval, stop)
+}
+
 // sweepTemps removes stale AtomicFile temporaries (crash residue) from the
 // data directory.
-func (s *server) sweepTemps() {
+func (s *Server) sweepTemps() {
 	n, err := writer.SweepTemps(s.dir, staleTempAge)
 	if err == nil && n > 0 {
 		s.metrics.tempsSwept.Add(int64(n))
@@ -919,7 +1144,7 @@ func (s *server) sweepTemps() {
 
 // sweepLoop runs sweepTemps every interval until stop is closed. Started
 // from main; a sweep also runs once at startup before serving.
-func (s *server) sweepLoop(interval time.Duration, stop <-chan struct{}) {
+func (s *Server) sweepLoop(interval time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {

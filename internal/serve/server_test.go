@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -21,7 +21,7 @@ import (
 
 // newTestServer compresses two synthetic fields into a temp directory and
 // returns a running httptest server over it.
-func newTestServer(t *testing.T) (*httptest.Server, *server, map[string]*grid.Hierarchy) {
+func newTestServer(t *testing.T) (*httptest.Server, *Server, map[string]*grid.Hierarchy) {
 	t.Helper()
 	dir := t.TempDir()
 	want := make(map[string]*grid.Hierarchy)
