@@ -28,6 +28,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "synthetic-data seed")
 		out     = flag.String("out", "", "directory for rendered PNG artifacts (optional)")
 		workers = flag.Int("workers", 0, "concurrent compression workers (0 = all cores, 1 = serial)")
+		storeBE = flag.String("store", "", "storage backend for serving experiments: file (default), mem, or http (in-process range-request origin)")
 		jsonOut = flag.String("json", "", "write machine-readable results to this file (see -list for experiments supporting it)")
 	)
 	flag.Parse()
@@ -48,7 +49,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	cfg := experiments.Config{Size: *size, Seed: *seed, OutDir: *out, Workers: *workers}
+	cfg := experiments.Config{Size: *size, Seed: *seed, OutDir: *out, Workers: *workers, Store: *storeBE}
 
 	if *jsonOut != "" {
 		je, ok := experiments.JSONByID(*exp)

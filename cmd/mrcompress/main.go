@@ -21,16 +21,21 @@
 //
 //	mrcompress -c -i field.bin -o field.mrw -releb 1e-3 -quality
 //
-// Decompress a container back to a full-resolution raw field:
+// Decompress a container back to a full-resolution raw field (a container
+// URL downloads the whole blob — every stream is needed anyway):
 //
 //	mrcompress -d -i field.mrw -o recon.bin
 //
 // Partially decode via the container's block index — only the needed
 // streams are read and decoded, so extracting the coarsest level of a
-// large container touches a few kilobytes:
+// large container touches a few kilobytes. The input may be a local path
+// or a container URL (http://, https://, mem://, file://); remote
+// containers are read with range requests, so the same partial-decode
+// economy holds over the network:
 //
 //	mrcompress -d -i field.mrw -o coarse.bin -level 2
 //	mrcompress -d -i field.mrw -o box.bin -level 0 -box 3
+//	mrcompress -d -i http://origin:9100/field.mrw -o coarse.bin -level 2
 //
 // Scrub a container for corruption without decompressing it to disk — each
 // stream's payload is checked against the index's per-stream checksum
@@ -48,11 +53,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro"
 	"repro/internal/field"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -163,7 +170,7 @@ func main() {
 	case *dec && *level >= 0:
 		requireIn(*in)
 		requireOut(*out)
-		r, err := repro.OpenContainerFile(*in)
+		r, err := repro.OpenContainerURL(*in)
 		if err != nil {
 			fatal(err)
 		}
@@ -192,7 +199,7 @@ func main() {
 	case *dec:
 		requireIn(*in)
 		requireOut(*out)
-		blob, err := os.ReadFile(*in)
+		blob, err := readContainer(*in)
 		if err != nil {
 			fatal(err)
 		}
@@ -210,6 +217,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// readContainer fetches a whole container blob from a local path or any
+// storage-backend URL (full decode needs every stream, so a remote
+// container is one sequential download rather than ranged reads).
+func readContainer(in string) ([]byte, error) {
+	if !strings.Contains(in, "://") {
+		return os.ReadFile(in)
+	}
+	st, key, err := store.OpenObjectURL(in)
+	if err != nil {
+		return nil, err
+	}
+	h, err := st.Open(context.Background(), key)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	blob := make([]byte, h.Size())
+	if _, err := h.ReadAt(blob, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return blob, nil
 }
 
 func requireIn(in string) {

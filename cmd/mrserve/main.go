@@ -1,9 +1,18 @@
 // Command mrserve is a progressive multi-resolution serving daemon: it
-// serves a directory of compressed .mrw containers over HTTP, decoding only
+// serves a store of compressed .mrw containers over HTTP, decoding only
 // the streams each request needs via the container block index, with all
 // decoded bricks shared in one byte-budgeted LRU cache.
 //
 //	mrserve -dir /data/fields -addr :8080 [-cache-mb 256] [-cache-shards 16]
+//	mrserve -store http://origin/fields/ -revalidate-every 30s \
+//	        -disk-cache-dir /var/cache/mrserve -disk-cache-mb 2048
+//
+// Containers come from a pluggable storage backend: -dir (or -store
+// file://…) serves a local directory, -store http://… reads a remote origin
+// with range requests (ingest and listing answer 501 there), and -store
+// mem:// starts empty and is populated by PUT ingest. -disk-cache-dir adds
+// a disk spill tier under the in-memory brick cache, so bricks evicted from
+// RAM reload from local files instead of re-fetching and re-decoding.
 //
 // Endpoints:
 //
@@ -58,23 +67,32 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/faultio"
 	"repro/internal/reader"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
 		dir         = flag.String("dir", ".", "directory of .mrw containers to serve")
+		storeURL    = flag.String("store", "", "storage backend URL (file:///dir, http://origin/prefix/, mem://); overrides -dir")
+		reval       = flag.Duration("revalidate-every", 0, "trust an open container this long between identity probes (0 = probe every lookup; recommended > 0 for http stores)")
+		diskDir     = flag.String("disk-cache-dir", "", "directory for the brick cache's disk spill tier (empty disables)")
+		diskMB      = flag.Int64("disk-cache-mb", 1024, "disk spill tier budget in MiB")
+		rawOrigin   = flag.String("raw-origin", "", `also serve a directory of raw container files over HTTP as "ADDR=DIR" (a range-capable origin with strong ETags, for -store http:// setups and smoke tests)`)
 		addr        = flag.String("addr", ":8080", "listen address")
 		cacheMB     = flag.Int64("cache-mb", 256, "brick cache budget in MiB (0 disables caching)")
 		shards      = flag.Int("cache-shards", 16, "brick cache shard count")
@@ -92,16 +110,35 @@ func main() {
 	)
 	flag.Parse()
 
+	if *rawOrigin != "" {
+		oaddr, odir, ok := strings.Cut(*rawOrigin, "=")
+		if !ok || oaddr == "" || odir == "" {
+			fatal(fmt.Errorf(`-raw-origin wants "ADDR=DIR", got %q`, *rawOrigin))
+		}
+		if err := startRawOrigin(oaddr, odir); err != nil {
+			fatal(err)
+		}
+	}
 	cfg := serve.Config{
-		Dir:            *dir,
-		CacheBytes:     *cacheMB << 20,
-		MaxIngestBytes: *maxIngestMB << 20,
-		CacheShards:    *shards,
-		QuarantineTTL:  *quarTTL,
-		TraceRing:      *traceRing,
-		TraceSlow:      *traceSlow,
-		LogSample:      *logSample,
-		LogWriter:      os.Stderr,
+		Dir:             *dir,
+		RevalidateEvery: *reval,
+		DiskCacheDir:    *diskDir,
+		DiskCacheBytes:  *diskMB << 20,
+		CacheBytes:      *cacheMB << 20,
+		MaxIngestBytes:  *maxIngestMB << 20,
+		CacheShards:     *shards,
+		QuarantineTTL:   *quarTTL,
+		TraceRing:       *traceRing,
+		TraceSlow:       *traceSlow,
+		LogSample:       *logSample,
+		LogWriter:       os.Stderr,
+	}
+	if *storeURL != "" {
+		st, err := store.Open(*storeURL)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
 	}
 	if *faultSpec != "" {
 		plan, err := serve.ParseFaultPlan(*faultSpec)
@@ -130,11 +167,19 @@ func main() {
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, s)
 	}
-	ids, err := s.FieldIDs()
-	if err != nil {
-		fatal(err)
+	from := *dir
+	if *storeURL != "" {
+		from = *storeURL
 	}
-	fmt.Printf("mrserve: serving %d field(s) from %s on %s\n", len(ids), *dir, *addr)
+	if ids, err := s.FieldIDs(); err != nil {
+		if !errors.Is(err, store.ErrUnsupported) {
+			fatal(err)
+		}
+		// A plain HTTP origin cannot enumerate; fields are opened on demand.
+		fmt.Printf("mrserve: serving %s (listing unsupported) on %s\n", from, *addr)
+	} else {
+		fmt.Printf("mrserve: serving %d field(s) from %s on %s\n", len(ids), from, *addr)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.Handler(),
@@ -149,6 +194,32 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil {
 		fatal(err)
 	}
+}
+
+// startRawOrigin serves dir's files statically on addr — a minimal
+// range-capable origin with strong ETags (size + mtime), which is exactly
+// what the HTTP store backend wants to talk to: ranged GETs for positioned
+// reads, HEAD + ETag for revalidation. The listener is bound synchronously
+// so the origin is reachable before the serving store first opens an
+// object; requests are then served from a goroutine.
+func startRawOrigin(addr, dir string) error {
+	if st, err := os.Stat(dir); err != nil {
+		return err
+	} else if !st.IsDir() {
+		return fmt.Errorf("raw origin %s is not a directory", dir)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("raw origin listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "mrserve: raw origin for %s on %s\n", dir, addr)
+	go func() {
+		srv := &http.Server{Handler: store.OriginHandler(dir), ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.Serve(ln); err != nil {
+			fmt.Fprintln(os.Stderr, "mrserve: raw origin:", err)
+		}
+	}()
+	return nil
 }
 
 // serveDebug runs the opt-in debug listener: pprof endpoints plus the

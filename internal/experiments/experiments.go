@@ -43,6 +43,11 @@ type Config struct {
 	// (each slab loses cross-slab prediction context, the paper's OpenMP
 	// ratio-loss effect).
 	Workers int
+	// Store selects the storage backend for experiments that serve
+	// containers (currently traffic): "file" (default), "mem", or "http"
+	// (an in-process range-request origin). Read-only backends redirect
+	// the workload's ingest share to level reads.
+	Store string
 }
 
 func (c Config) withDefaults() Config {

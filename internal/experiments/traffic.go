@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -27,7 +30,10 @@ import (
 // latency quantiles straight from the server's own request histograms, so
 // the committed BENCH_traffic.json is also a standing proof that the
 // observability plane measures what clients experience. The committed
-// trajectory regenerates with `mrbench -exp traffic -json BENCH_traffic.json`.
+// trajectory regenerates with `mrbench -exp traffic -json BENCH_traffic.json`
+// and includes one level served through the HTTP range-request storage
+// backend (http-c4/… rows); `mrbench -exp traffic -store mem|http` runs the
+// whole sweep over an alternate backend.
 
 // Knobs with package scope so the smoke test can shrink the run.
 var (
@@ -81,10 +87,82 @@ func buildTrafficDir(dir string, cfg Config) ([]string, int, error) {
 	return ids, levels, nil
 }
 
+// trafficBackend bundles a storage backend with its workload implications:
+// a read-only backend cannot take ingest (its write share is redirected to
+// level reads), and a remote backend gets a revalidation window so identity
+// probes do not turn into a HEAD per request.
+type trafficBackend struct {
+	label    string // row-name prefix; "" for the default file backend
+	st       store.Store
+	readOnly bool
+	reval    time.Duration
+	close    func()
+}
+
+// openTrafficBackend mounts dir through the named storage backend. "http"
+// publishes dir via an in-process range-capable origin (store.OriginHandler)
+// and reads it back through the HTTP range-request backend — loopback TCP,
+// but the full remote read path: suffix-range open, ranged brick reads,
+// ETag revalidation.
+func openTrafficBackend(kind, dir string) (*trafficBackend, error) {
+	switch kind {
+	case "", "file":
+		st, err := store.NewFS(dir)
+		if err != nil {
+			return nil, err
+		}
+		return &trafficBackend{st: st, close: func() {}}, nil
+	case "mem":
+		m := store.NewMem()
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			err = m.Install(context.Background(), e.Name(), func(w io.Writer) error {
+				_, werr := w.Write(b)
+				return werr
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &trafficBackend{label: "mem-", st: m, close: func() {}}, nil
+	case "http":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		origin := &http.Server{Handler: store.OriginHandler(dir), ReadHeaderTimeout: 10 * time.Second}
+		go origin.Serve(ln)
+		st, err := store.NewHTTP("http://"+ln.Addr().String()+"/", store.HTTPOptions{})
+		if err != nil {
+			origin.Close()
+			return nil, err
+		}
+		return &trafficBackend{
+			label:    "http-",
+			st:       st,
+			readOnly: true,
+			reval:    time.Second,
+			close:    func() { origin.Close() },
+		}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown store backend %q (want file, mem, or http)", kind)
+	}
+}
+
 // trafficWorker runs one closed-loop client until deadline: pick an op by
 // mix, a field by zipf popularity, fire, repeat. Each worker owns its rng
 // (rand.Zipf is not concurrency-safe) and its keep-alive connection.
-func trafficWorker(base string, ids []string, levels int, cfg Config, wseed int64, ingestBody []byte, deadline time.Time, counts *trafficCounts) {
+func trafficWorker(base string, ids []string, levels int, cfg Config, wseed int64, ingestBody []byte, readOnly bool, deadline time.Time, counts *trafficCounts) {
 	rng := rand.New(rand.NewSource(cfg.Seed*1000 + wseed))
 	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(ids)-1))
 	client := &http.Client{}
@@ -104,6 +182,13 @@ func trafficWorker(base string, ids []string, levels int, cfg Config, wseed int6
 			resp, err = client.Get(fmt.Sprintf("%s/v1/field/%s/slice?axis=%s&k=%d&level=%d",
 				base, id, axes[rng.Intn(3)], k, l))
 		default:
+			if readOnly {
+				// The backend cannot take writes; spend the ingest share
+				// on level reads so op totals stay comparable across
+				// backends.
+				resp, err = client.Get(fmt.Sprintf("%s/v1/field/%s/level/%d", base, id, rng.Intn(levels)))
+				break
+			}
 			req, rerr := http.NewRequest("PUT", base+"/v1/field/ingested?releb=1e-3",
 				bytes.NewReader(ingestBody))
 			if rerr != nil {
@@ -127,13 +212,15 @@ func trafficWorker(base string, ids []string, levels int, cfg Config, wseed int6
 
 // runTrafficLevel measures one concurrency level against a fresh serving
 // instance (fresh cache, fresh histograms: levels stay independent) and
-// appends its quantile and throughput rows to rep.
-func runTrafficLevel(rep *benchfmt.Report, dir string, ids []string, levels, workers int, cfg Config, ingestBody []byte) error {
+// appends its quantile and throughput rows to rep, prefixed with the
+// backend's label (e.g. http-c4/level/p99 next to c4/level/p99).
+func runTrafficLevel(rep *benchfmt.Report, be *trafficBackend, ids []string, levels, workers int, cfg Config, ingestBody []byte) error {
 	s, err := serve.New(serve.Config{
-		Dir:            dir,
-		CacheBytes:     64 << 20,
-		MaxIngestBytes: 1 << 30,
-		CacheShards:    8,
+		Store:           be.st,
+		RevalidateEvery: be.reval,
+		CacheBytes:      64 << 20,
+		MaxIngestBytes:  1 << 30,
+		CacheShards:     8,
 	})
 	if err != nil {
 		return err
@@ -156,7 +243,7 @@ func runTrafficLevel(rep *benchfmt.Report, dir string, ids []string, levels, wor
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			trafficWorker(base, ids, levels, cfg, int64(w), ingestBody, deadline, &counts)
+			trafficWorker(base, ids, levels, cfg, int64(w), ingestBody, be.readOnly, deadline, &counts)
 		}(w)
 	}
 	wg.Wait()
@@ -166,9 +253,10 @@ func runTrafficLevel(rep *benchfmt.Report, dir string, ids []string, levels, wor
 	if ops == 0 {
 		return fmt.Errorf("traffic: concurrency %d completed zero operations", workers)
 	}
-	rep.Config[fmt.Sprintf("c%d_ops", workers)] = ops
-	rep.Config[fmt.Sprintf("c%d_errors", workers)] = counts.errors.Load()
-	rep.Config[fmt.Sprintf("c%d_ops_per_s", workers)] = float64(ops) / elapsed.Seconds()
+	kp := strings.ReplaceAll(be.label, "-", "_") // http- rows → http_c4_ops keys
+	rep.Config[fmt.Sprintf("%sc%d_ops", kp, workers)] = ops
+	rep.Config[fmt.Sprintf("%sc%d_errors", kp, workers)] = counts.errors.Load()
+	rep.Config[fmt.Sprintf("%sc%d_ops_per_s", kp, workers)] = float64(ops) / elapsed.Seconds()
 
 	// Latency quantiles come from the server's own per-endpoint histograms —
 	// the same series /metrics exposes — not from client-side timers.
@@ -183,14 +271,14 @@ func runTrafficLevel(rep *benchfmt.Report, dir string, ids []string, levels, wor
 			q     float64
 		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
 			rep.Results = append(rep.Results, benchfmt.Result{
-				Name:    fmt.Sprintf("c%d/%s/%s", workers, ep, q.label),
+				Name:    fmt.Sprintf("%sc%d/%s/%s", be.label, workers, ep, q.label),
 				Iters:   int(snap.Count),
 				NsPerOp: snap.Quantile(q.q) * 1e9,
 			})
 		}
 	}
 	rep.Results = append(rep.Results, benchfmt.Result{
-		Name:    fmt.Sprintf("c%d/all/mean", workers),
+		Name:    fmt.Sprintf("%sc%d/all/mean", be.label, workers),
 		Iters:   int(ops),
 		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
 	})
@@ -219,12 +307,23 @@ func TrafficBench(cfg Config) (*benchfmt.Report, error) {
 		return nil, err
 	}
 
+	be, err := openTrafficBackend(cfg.Store, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer be.close()
+
+	storeName := cfg.Store
+	if storeName == "" {
+		storeName = "file"
+	}
 	rep := &benchfmt.Report{Config: map[string]any{
 		"dataset":      "nyx",
 		"size":         cfg.Size,
 		"seed":         cfg.Seed,
 		"fields":       trafficFields,
 		"levels":       levels,
+		"store":        storeName,
 		"mix":          fmt.Sprintf("level=%d%% slice=%d%% ingest=%d%%", trafficLevelPct, trafficSlicePct, 100-trafficLevelPct-trafficSlicePct),
 		"zipf_s":       1.2,
 		"duration_s":   trafficDuration.Seconds(),
@@ -232,7 +331,23 @@ func TrafficBench(cfg Config) (*benchfmt.Report, error) {
 		"quantile_src": "server-side mrserve_request_duration_seconds histograms",
 	}}
 	for _, workers := range trafficConcurrency {
-		if err := runTrafficLevel(rep, dir, ids, levels, workers, cfg, ingestBuf.Bytes()); err != nil {
+		if err := runTrafficLevel(rep, be, ids, levels, workers, cfg, ingestBuf.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+
+	// The default run appends one level served through the HTTP
+	// range-request backend at the lowest concurrency, so the committed
+	// trajectory carries a standing remote-backend datapoint (http-c4/…
+	// rows) next to the local ones. Explicit -store runs measure only the
+	// backend they asked for.
+	if be.label == "" {
+		hb, err := openTrafficBackend("http", dir)
+		if err != nil {
+			return nil, err
+		}
+		defer hb.close()
+		if err := runTrafficLevel(rep, hb, ids, levels, trafficConcurrency[0], cfg, ingestBuf.Bytes()); err != nil {
 			return nil, err
 		}
 	}
@@ -247,10 +362,12 @@ func WriteTrafficTSV(w io.Writer, rep *benchfmt.Report) {
 	for _, r := range rep.Results {
 		fmt.Fprintf(w, "%s\t%.3f\t%d\n", r.Name, r.NsPerOp/1e6, r.Iters)
 	}
-	for _, c := range trafficConcurrency {
-		if v, ok := rep.Config[fmt.Sprintf("c%d_ops_per_s", c)]; ok {
-			fmt.Fprintf(w, "c%d/throughput\t%.1f ops/s\t(errors %v)\n",
-				c, v, rep.Config[fmt.Sprintf("c%d_errors", c)])
+	for _, kp := range []string{"", "mem_", "http_"} {
+		for _, c := range trafficConcurrency {
+			if v, ok := rep.Config[fmt.Sprintf("%sc%d_ops_per_s", kp, c)]; ok {
+				fmt.Fprintf(w, "%sc%d/throughput\t%.1f ops/s\t(errors %v)\n",
+					strings.ReplaceAll(kp, "_", "-"), c, v, rep.Config[fmt.Sprintf("%sc%d_errors", kp, c)])
+			}
 		}
 	}
 }

@@ -1,0 +1,90 @@
+package faultio
+
+// HTTP and network fault classification for remote storage backends
+// (internal/store's range-request origin): the mapping that makes the
+// existing retry/backoff and quarantine layers behave correctly over the
+// network. Timeouts, connection resets, and 5xx answers are Transient (the
+// next attempt, or the next replica, may succeed); 404 and 416 are
+// Permanent (the object — or the byte range the index promised — does not
+// exist at the origin; retrying the same request cannot help).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"syscall"
+)
+
+// ClassifyHTTPStatus maps an HTTP response status to a fault class:
+//
+//   - 5xx, 408 (request timeout), and 429 (over capacity) are Transient —
+//     origin-side trouble a retry or another replica can outlast;
+//   - 404/410 (the object is gone) and 416 (the requested byte range does
+//     not exist — a truncated or replaced object) are Permanent;
+//   - other 4xx are Permanent (the request itself is wrong);
+//   - 2xx/3xx are not faults (ClassUnknown).
+func ClassifyHTTPStatus(status int) Class {
+	switch {
+	case status == http.StatusRequestTimeout, status == http.StatusTooManyRequests, status >= 500:
+		return ClassTransient
+	case status == http.StatusNotFound, status == http.StatusGone,
+		status == http.StatusRequestedRangeNotSatisfiable:
+		return ClassPermanent
+	case status >= 400:
+		return ClassPermanent
+	default:
+		return ClassUnknown
+	}
+}
+
+// HTTPStatusError wraps an unexpected HTTP status as a classified error via
+// ClassifyHTTPStatus (2xx/3xx statuses are still wrapped, as Permanent:
+// the caller said the status was unexpected).
+func HTTPStatusError(status int, url string) error {
+	err := fmt.Errorf("faultio: http %d (%s) for %s", status, http.StatusText(status), url)
+	class := ClassifyHTTPStatus(status)
+	if class == ClassUnknown {
+		class = ClassPermanent
+	}
+	return mark(class, err)
+}
+
+// ClassifyNetError maps a transport-level error (a failed http.Client
+// round trip) to a fault class: timeouts, refused/reset/aborted
+// connections, and unexpected EOFs mid-response are Transient — the remote
+// end or the path flaked, and the positioned read is idempotent. A
+// canceled or deadline-exceeded context is Permanent: the request is dead,
+// retrying cannot help it. Everything else is ClassUnknown.
+func ClassifyNetError(err error) Class {
+	if err == nil {
+		return ClassUnknown
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassPermanent
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ClassTransient
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EPIPE) {
+		return ClassTransient
+	}
+	return ClassUnknown
+}
+
+// NetError wraps a transport-level error with its ClassifyNetError class
+// (unknown transport failures become Transient: for idempotent positioned
+// reads, retrying an unidentified network hiccup is the safe default).
+func NetError(err error) error {
+	if err == nil {
+		return nil
+	}
+	class := ClassifyNetError(err)
+	if class == ClassUnknown {
+		class = ClassTransient
+	}
+	return mark(class, err)
+}

@@ -1,0 +1,98 @@
+package faultio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"syscall"
+	"testing"
+)
+
+func TestClassifyHTTPStatus(t *testing.T) {
+	cases := []struct {
+		status int
+		want   Class
+	}{
+		{http.StatusOK, ClassUnknown},
+		{http.StatusPartialContent, ClassUnknown},
+		{http.StatusNotModified, ClassUnknown},
+		{http.StatusBadRequest, ClassPermanent},
+		{http.StatusForbidden, ClassPermanent},
+		{http.StatusNotFound, ClassPermanent},
+		{http.StatusGone, ClassPermanent},
+		{http.StatusRequestedRangeNotSatisfiable, ClassPermanent},
+		{http.StatusRequestTimeout, ClassTransient},
+		{http.StatusTooManyRequests, ClassTransient},
+		{http.StatusInternalServerError, ClassTransient},
+		{http.StatusBadGateway, ClassTransient},
+		{http.StatusServiceUnavailable, ClassTransient},
+		{http.StatusGatewayTimeout, ClassTransient},
+	}
+	for _, tc := range cases {
+		if got := ClassifyHTTPStatus(tc.status); got != tc.want {
+			t.Errorf("ClassifyHTTPStatus(%d) = %v, want %v", tc.status, got, tc.want)
+		}
+	}
+}
+
+func TestHTTPStatusError(t *testing.T) {
+	// A 503 is retryable, a 404 is not, and an "unexpected" 2xx — the
+	// caller wanted a 206 and got something else — must not be retried
+	// either.
+	if err := HTTPStatusError(503, "http://o/x"); Classify(err) != ClassTransient {
+		t.Errorf("503: class %v, want Transient", Classify(err))
+	}
+	if err := HTTPStatusError(404, "http://o/x"); Classify(err) != ClassPermanent {
+		t.Errorf("404: class %v, want Permanent", Classify(err))
+	}
+	if err := HTTPStatusError(200, "http://o/x"); Classify(err) != ClassPermanent {
+		t.Errorf("unexpected 200: class %v, want Permanent", Classify(err))
+	}
+}
+
+// timeoutErr implements net.Error with Timeout() true.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestClassifyNetError(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassUnknown},
+		{"canceled", context.Canceled, ClassPermanent},
+		{"deadline", context.DeadlineExceeded, ClassPermanent},
+		{"wrapped canceled", fmt.Errorf("round trip: %w", context.Canceled), ClassPermanent},
+		{"timeout", timeoutErr{}, ClassTransient},
+		{"conn reset", fmt.Errorf("read: %w", syscall.ECONNRESET), ClassTransient},
+		{"conn refused", fmt.Errorf("dial: %w", syscall.ECONNREFUSED), ClassTransient},
+		{"conn aborted", syscall.ECONNABORTED, ClassTransient},
+		{"broken pipe", syscall.EPIPE, ClassTransient},
+		{"other", errors.New("mystery"), ClassUnknown},
+	}
+	for _, tc := range cases {
+		if got := ClassifyNetError(tc.err); got != tc.want {
+			t.Errorf("%s: ClassifyNetError = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNetErrorDefaultsTransient(t *testing.T) {
+	// An unidentified transport failure wraps as Transient: positioned
+	// reads are idempotent, so retrying the hiccup is the safe default.
+	err := NetError(errors.New("mystery"))
+	if !IsTransient(err) {
+		t.Errorf("unknown transport error classified %v, want Transient", Classify(err))
+	}
+	if err := NetError(context.Canceled); IsTransient(err) {
+		t.Error("canceled context must not be retried")
+	}
+	if NetError(nil) != nil {
+		t.Error("NetError(nil) != nil")
+	}
+}

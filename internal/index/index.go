@@ -146,6 +146,13 @@ type Index struct {
 	// (footer version 2). Writers set it to emit the checked footer;
 	// readers use it to decide whether integrity verification is available.
 	StreamCRCs bool
+	// SectionCRC is the CRC-32 of the serialized index section, as recorded
+	// in the container trailer — a cheap strong identifier for the whole
+	// container version (the section covers every stream's offset, length,
+	// and payload CRC). ReadFrom fills it from the trailer; for an index
+	// built by a sequential scan it is computed over the synthesized
+	// section. Zero only on an Index never serialized or parsed.
+	SectionCRC uint32
 }
 
 // NumLevels returns the level count.
@@ -282,7 +289,12 @@ func ReadFrom(r io.ReaderAt, size int64) (*Index, error) {
 	if crc32.ChecksumIEEE(section) != binary.LittleEndian.Uint32(tr[0:4]) {
 		return nil, errors.New("index: section CRC mismatch")
 	}
-	return Parse(section, size)
+	ix, err := Parse(section, size)
+	if err != nil {
+		return nil, err
+	}
+	ix.SectionCRC = binary.LittleEndian.Uint32(tr[0:4])
+	return ix, nil
 }
 
 // Parse decodes an index section. containerSize, when > 0, bounds stream

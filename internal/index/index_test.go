@@ -50,6 +50,10 @@ func TestFooterRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got.SectionCRC == 0 {
+		t.Fatal("ReadFrom left SectionCRC unset")
+	}
+	got.SectionCRC = 0 // the in-memory original was never serialized
 	if !reflect.DeepEqual(got, ix) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, ix)
 	}

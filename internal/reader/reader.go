@@ -94,6 +94,12 @@ type Stats struct {
 	// CorruptStreams counts streams that failed integrity verification or
 	// decode — candidates for quarantine in the serving path.
 	CorruptStreams int64
+	// CoalescedWaits counts brick requests that joined an in-flight decode
+	// of the same brick instead of starting their own (singleflight).
+	CoalescedWaits int64
+	// DiskTierHits counts cache hits served by reloading a spilled brick
+	// from the cache's disk tier (a subset of CacheHits).
+	DiskTierHits int64
 }
 
 // Option configures a Reader.
@@ -150,12 +156,18 @@ type Reader struct {
 	retryPolicy faultio.RetryPolicy
 	srcWrap     func(io.ReaderAt) io.ReaderAt
 
+	// flight coalesces concurrent decodes of the same brick: N readers
+	// racing one cold cache miss cost one backend fetch + decode.
+	flight flightGroup
+
 	backendDecodes atomic.Int64
 	bytesRead      atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	retries        atomic.Int64
 	corruptStreams atomic.Int64
+	coalescedWaits atomic.Int64
+	diskTierHits   atomic.Int64
 }
 
 // Open opens a container accessed through src with the given total size.
@@ -230,6 +242,9 @@ func OpenCtx(ctx context.Context, src io.ReaderAt, size int64, opts ...Option) (
 		if r.ix, err = index.Parse(section[:len(section)-index.TrailerLen], size); err != nil {
 			return err
 		}
+		// The synthesized section's CRC plays the same container-version
+		// role the trailer CRC does for footer-indexed containers.
+		r.ix.SectionCRC = crc32.ChecksumIEEE(section[:len(section)-index.TrailerLen])
 		r.fellBack = true
 		return nil
 	}(); err != nil {
@@ -306,6 +321,9 @@ func (r *Reader) Dims() (nx, ny, nz int) { return r.ix.Nx, r.ix.Ny, r.ix.Nz }
 // was scanned sequentially instead.
 func (r *Reader) FellBack() bool { return r.fellBack }
 
+// Size returns the container's total size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
 // CanVerify reports whether per-stream integrity verification is available:
 // the container's index carries payload checksums (checked-footer
 // containers, and any container opened through the sequential-scan
@@ -321,21 +339,56 @@ func (r *Reader) Stats() Stats {
 		CacheMisses:    r.cacheMisses.Load(),
 		Retries:        r.retries.Load(),
 		CorruptStreams: r.corruptStreams.Load(),
+		CoalescedWaits: r.coalescedWaits.Load(),
+		DiskTierHits:   r.diskTierHits.Load(),
 	}
 }
 
 // cached wraps the brick cache with reader-local hit/miss accounting. The
-// probe lands on the request trace as a cache_hit or cache_miss leaf span.
+// probe lands on the request trace as a cache_hit, disk_tier_hit (reloaded
+// from the cache's spill tier), or cache_miss leaf span.
 func (r *Reader) cachedField(ctx context.Context, key string) (*field.Field, bool) {
 	start := time.Now()
-	if v, ok := r.cache.Get(key); ok {
+	if v, tier, ok := r.cache.GetTier(key); ok {
 		r.cacheHits.Add(1)
-		obs.Record(ctx, "cache_hit", start, "key", key)
+		if tier == cache.TierDisk {
+			r.diskTierHits.Add(1)
+			obs.Record(ctx, "disk_tier_hit", start, "key", key)
+		} else {
+			obs.Record(ctx, "cache_hit", start, "key", key)
+		}
 		return v.(*field.Field), true
 	}
 	r.cacheMisses.Add(1)
 	obs.Record(ctx, "cache_miss", start, "key", key)
 	return nil, false
+}
+
+// brickOnce is the cache-or-decode path for one brick key with singleflight
+// coalescing: a miss either leads a flight (running fetch, which must cache
+// its result before returning) or joins the one already decoding the same
+// key, landing on the trace as a coalesced_wait span. The leader re-checks
+// the cache inside the flight, closing the race where a previous flight
+// published its brick between this caller's miss and the flight lock.
+func (r *Reader) brickOnce(ctx context.Context, key string, fetch func() (*field.Field, error)) (*field.Field, error) {
+	if f, ok := r.cachedField(ctx, key); ok {
+		return f, nil
+	}
+	start := time.Now()
+	v, shared, err := r.flight.Do(key, func() (any, error) {
+		if v, _, ok := r.cache.GetTier(key); ok {
+			return v.(*field.Field), nil
+		}
+		return fetch()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		r.coalescedWaits.Add(1)
+		obs.Record(ctx, "coalesced_wait", start, "key", key)
+	}
+	return v.(*field.Field), nil
 }
 
 // markCorrupt counts a stream that failed integrity checks or decode and
@@ -397,65 +450,64 @@ func (r *Reader) fetchStream(ctx context.Context, si int) (*field.Field, error) 
 	return f, nil
 }
 
-// boxBrick returns the decoded field of TAC stream si, via the cache.
+// boxBrick returns the decoded field of TAC stream si, via the cache, with
+// concurrent decodes of the same box coalesced.
 func (r *Reader) boxBrick(ctx context.Context, si int) (*field.Field, error) {
 	s := r.ix.Streams[si]
 	key := fmt.Sprintf("%s/L%d/B%d", r.id, s.Level, s.Box)
-	if f, ok := r.cachedField(ctx, key); ok {
+	return r.brickOnce(ctx, key, func() (*field.Field, error) {
+		f, err := r.fetchStream(ctx, si)
+		if err != nil {
+			return nil, err
+		}
+		u := r.ix.UnitBlockSize(s.Level)
+		if f.Nx != s.Geom.WX*u || f.Ny != s.Geom.WY*u || f.Nz != s.Geom.WZ*u {
+			return nil, r.markCorrupt(fmt.Errorf("reader: box L%dB%d decoded shape %v does not match geometry %+v",
+				s.Level, s.Box, f, s.Geom))
+		}
+		r.cache.Put(key, f, int64(f.Bytes()))
 		return f, nil
-	}
-	f, err := r.fetchStream(ctx, si)
-	if err != nil {
-		return nil, err
-	}
-	u := r.ix.UnitBlockSize(s.Level)
-	if f.Nx != s.Geom.WX*u || f.Ny != s.Geom.WY*u || f.Nz != s.Geom.WZ*u {
-		return nil, r.markCorrupt(fmt.Errorf("reader: box L%dB%d decoded shape %v does not match geometry %+v",
-			s.Level, s.Box, f, s.Geom))
-	}
-	r.cache.Put(key, f, int64(f.Bytes()))
-	return f, nil
+	})
 }
 
 // levelField returns a merged level's placed full-domain array, via the
 // cache. Valid only for non-TAC streams.
 func (r *Reader) levelField(ctx context.Context, l int) (*field.Field, error) {
 	key := fmt.Sprintf("%s/L%d", r.id, l)
-	if f, ok := r.cachedField(ctx, key); ok {
-		return f, nil
-	}
-	nx, ny, nz := r.ix.LevelDims(l)
-	out := field.New(nx, ny, nz)
-	lv := &r.ix.Levels[l]
-	if len(lv.Streams) > 0 {
-		f, err := r.fetchStream(ctx, lv.Streams[0])
-		if err != nil {
-			return nil, err
-		}
-		if lv.Padded {
-			if f.Nx < 2 || f.Ny < 2 {
-				return nil, fmt.Errorf("reader: level %d padded stream too small to unpad (%v)", l, f)
+	return r.brickOnce(ctx, key, func() (*field.Field, error) {
+		nx, ny, nz := r.ix.LevelDims(l)
+		out := field.New(nx, ny, nz)
+		lv := &r.ix.Levels[l]
+		if len(lv.Streams) > 0 {
+			f, err := r.fetchStream(ctx, lv.Streams[0])
+			if err != nil {
+				return nil, err
 			}
-			f = layout.UnpadXY(f)
+			if lv.Padded {
+				if f.Nx < 2 || f.Ny < 2 {
+					return nil, fmt.Errorf("reader: level %d padded stream too small to unpad (%v)", l, f)
+				}
+				f = layout.UnpadXY(f)
+			}
+			m := &layout.Merged{Data: f, U: r.ix.UnitBlockSize(l), Blocks: lv.Blocks}
+			var err2 error
+			switch core.Arrangement(r.ix.Opts.Arrangement) {
+			case core.ArrangeLinear:
+				err2 = layout.LinearPlace(m, out)
+			case core.ArrangeStack:
+				err2 = layout.StackPlace(m, out)
+			case core.ArrangeZOrder1D:
+				err2 = layout.ZOrderPlace1D(m, out)
+			default:
+				err2 = fmt.Errorf("reader: unknown arrangement %d", r.ix.Opts.Arrangement)
+			}
+			if err2 != nil {
+				return nil, err2
+			}
 		}
-		m := &layout.Merged{Data: f, U: r.ix.UnitBlockSize(l), Blocks: lv.Blocks}
-		var err2 error
-		switch core.Arrangement(r.ix.Opts.Arrangement) {
-		case core.ArrangeLinear:
-			err2 = layout.LinearPlace(m, out)
-		case core.ArrangeStack:
-			err2 = layout.StackPlace(m, out)
-		case core.ArrangeZOrder1D:
-			err2 = layout.ZOrderPlace1D(m, out)
-		default:
-			err2 = fmt.Errorf("reader: unknown arrangement %d", r.ix.Opts.Arrangement)
-		}
-		if err2 != nil {
-			return nil, err2
-		}
-	}
-	r.cache.Put(key, out, int64(out.Bytes()))
-	return out, nil
+		r.cache.Put(key, out, int64(out.Bytes()))
+		return out, nil
+	})
 }
 
 func (r *Reader) checkLevel(l int) error {

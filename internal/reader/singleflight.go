@@ -1,0 +1,47 @@
+package reader
+
+import "sync"
+
+// flightGroup coalesces concurrent duplicate work by key: the first caller
+// of Do for a key (the leader) runs fn; callers arriving while it runs (the
+// followers) block and share the leader's result instead of repeating the
+// work. This is what keeps a thundering herd on one cold brick — N requests
+// racing the same cache miss — down to exactly one backend fetch + decode.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+// Do runs fn for key unless a flight for key is already in progress, in
+// which case it waits for that flight and returns its result with
+// shared=true. The flight is deregistered before its result is published,
+// so a caller that misses both the cache and the flight re-runs fn — which
+// is why leaders re-check the cache first (see brickOnce).
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

@@ -1,0 +1,90 @@
+package reader
+
+import (
+	"bytes"
+	"context"
+
+	"repro/internal/cache"
+	"repro/internal/field"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// StoreReader is a Reader over an object opened from a storage backend
+// (internal/store): the serving tier's container handle when the backing
+// may be a local directory, an in-memory object set, or a remote HTTP
+// origin.
+type StoreReader struct {
+	*Reader
+	h store.Handle
+}
+
+// Close releases the underlying store handle.
+func (sr *StoreReader) Close() error { return sr.h.Close() }
+
+// StoreInfo returns the object identity observed when the handle was
+// opened — the baseline a serving tier compares against a fresh Stat to
+// detect replace-while-serving, generalizing FileReader.Stat's fstat
+// identity across backends.
+func (sr *StoreReader) StoreInfo() store.Info { return sr.h.Info() }
+
+// OpenStore opens the container object key from st for random access.
+func OpenStore(st store.Store, key string, opts ...Option) (*StoreReader, error) {
+	return OpenStoreCtx(context.Background(), st, key, opts...)
+}
+
+// OpenStoreCtx is OpenStore under a context: the backend open — for the
+// HTTP backend, the suffix-range GET that sizes the object and prefetches
+// its footer — lands on the request trace as a "store_read" span, ahead of
+// OpenCtx's footer_read/fallback_scan.
+func OpenStoreCtx(ctx context.Context, st store.Store, key string, opts ...Option) (*StoreReader, error) {
+	h, err := func() (store.Handle, error) {
+		_, sp := obs.StartSpan(ctx, "store_read")
+		sp.SetTag("store", st.String())
+		sp.SetTag("key", key)
+		defer sp.End()
+		return st.Open(ctx, key)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	r, err := OpenCtx(ctx, h, h.Size(), append([]Option{WithCacheKey(st.String() + key)}, opts...)...)
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	return &StoreReader{Reader: r, h: h}, nil
+}
+
+// EnableDiskTier attaches a disk spill tier for decoded bricks to a brick
+// cache: fields evicted from the memory LRU are serialized (field wire
+// format) into budgeted spill files under dir and transparently reloaded —
+// and re-promoted — on the next access. Call before the cache is shared.
+func EnableDiskTier(c *cache.Cache, dir string, budgetBytes int64) (*cache.DiskTier, error) {
+	t, err := cache.NewDiskTier(dir, budgetBytes)
+	if err != nil {
+		return nil, err
+	}
+	c.SetDiskTier(t, encodeBrick, decodeBrick)
+	return t, nil
+}
+
+func encodeBrick(v any) ([]byte, bool) {
+	f, ok := v.(*field.Field)
+	if !ok {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+func decodeBrick(payload []byte) (any, int64, bool) {
+	f, err := field.ReadFromLimit(bytes.NewReader(payload), int64(len(payload)))
+	if err != nil {
+		return nil, 0, false
+	}
+	return f, int64(f.Bytes()), true
+}

@@ -142,7 +142,7 @@ func degradedHeader(requested, served int, reason string) string {
 // Non-corrupt errors — context cancellation, transient faults that
 // outlasted the retry budget, missing files — abort the walk: degradation
 // is a remedy for bad bytes, not for an unreachable backend.
-func (s *Server) readLevelDegraded(ctx context.Context, rd *reader.FileReader, id string, l int) (*field.Field, int, string, error) {
+func (s *Server) readLevelDegraded(ctx context.Context, rd *reader.Reader, id string, l int) (*field.Field, int, string, error) {
 	reason := ""
 	var lastErr error
 	for lv := l; lv < rd.NumLevels(); lv++ {
@@ -172,7 +172,7 @@ func (s *Server) readLevelDegraded(ctx context.Context, rd *reader.FileReader, i
 // readSliceDegraded is readLevelDegraded for plane extraction: on fallback
 // the plane index is rescaled to the coarser grid (k >> levels dropped,
 // clamped), so the served slice covers the same physical cut.
-func (s *Server) readSliceDegraded(ctx context.Context, rd *reader.FileReader, id string, axis reader.Axis, k, l int) (*field.Field, int, int, string, error) {
+func (s *Server) readSliceDegraded(ctx context.Context, rd *reader.Reader, id string, axis reader.Axis, k, l int) (*field.Field, int, int, string, error) {
 	reason := ""
 	var lastErr error
 	for lv := l; lv < rd.NumLevels(); lv++ {

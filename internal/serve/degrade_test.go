@@ -76,7 +76,7 @@ func metricValue(t *testing.T, text, name string) int64 {
 // the second request skips the corrupt bytes entirely.
 func TestLevelFallsBackOnCorruption(t *testing.T) {
 	ts, s, want := newTestServer(t)
-	corruptLevelOnDisk(t, s.dir, "nyx", 0)
+	corruptLevelOnDisk(t, s.dataDir(), "nyx", 0)
 
 	code, body, hdr := get(t, ts.URL+"/v1/field/nyx/level/0")
 	if code != 200 {
@@ -157,7 +157,7 @@ func TestLevelFallsBackOnCorruption(t *testing.T) {
 // to the coarser grid so the served slice covers the same physical cut.
 func TestSliceFallsBackAndRescalesK(t *testing.T) {
 	ts, s, want := newTestServer(t)
-	corruptLevelOnDisk(t, s.dir, "nyx", 0)
+	corruptLevelOnDisk(t, s.dataDir(), "nyx", 0)
 	code, body, hdr := get(t, ts.URL+"/v1/field/nyx/slice?axis=z&k=6&level=0")
 	if code != 200 {
 		t.Fatalf("degraded slice: %d %s", code, body)
@@ -181,7 +181,7 @@ func TestSliceFallsBackAndRescalesK(t *testing.T) {
 func TestAllLevelsCorrupt(t *testing.T) {
 	ts, s, want := newTestServer(t)
 	for l := range want["nyx"].Levels {
-		corruptLevelOnDisk(t, s.dir, "nyx", l)
+		corruptLevelOnDisk(t, s.dataDir(), "nyx", l)
 	}
 	code, body, _ := get(t, ts.URL+"/v1/field/nyx/level/0")
 	if code != http.StatusInternalServerError || !strings.Contains(string(body), "corrupt") {

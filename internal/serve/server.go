@@ -1,12 +1,16 @@
 // Package serve implements the mrserve progressive serving daemon as an
 // importable library: the HTTP surface (fields/meta/level/slice/ingest), the
-// stat-revalidated reader pool over a shared brick cache, corruption
-// quarantine with graceful degradation, and the observability plane —
-// per-request traces (X-Request-Id, GET /debug/traces), per-endpoint and
-// per-stage latency histograms on GET /metrics, and structured access/slow
-// logs. cmd/mrserve is a thin flag wrapper around New + Handler; the
-// traffic benchmark (mrbench -exp traffic) drives the same Server
-// in-process.
+// revalidated reader pool over a shared brick cache, corruption quarantine
+// with graceful degradation, and the observability plane — per-request
+// traces (X-Request-Id, GET /debug/traces), per-endpoint and per-stage
+// latency histograms on GET /metrics, and structured access/slow logs.
+// cmd/mrserve is a thin flag wrapper around New + Handler; the traffic
+// benchmark (mrbench -exp traffic) drives the same Server in-process.
+//
+// Containers come from a pluggable storage backend (internal/store): a
+// local directory, an in-memory object set, or a remote HTTP origin read
+// with range requests. The serving semantics — revalidation, quarantine,
+// degradation, caching — are identical over every backend.
 package serve
 
 import (
@@ -19,8 +23,6 @@ import (
 	"io/fs"
 	"net/http"
 	"net/url"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -35,20 +37,26 @@ import (
 	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/reader"
-	"repro/internal/writer"
+	"repro/internal/store"
 )
 
-// server serves a directory of .mrw containers over HTTP. Containers are
-// opened lazily on first access and kept open while fresh: every lookup
-// stat-revalidates the path against the inode the reader holds, so a
-// container replaced on disk (PUT ingest, an external copy) is picked up on
-// the next request instead of being served stale forever. All readers share
-// one brick cache, so the byte budget bounds decoded memory across the
-// whole directory regardless of how many fields are hot.
+// server serves a store of .mrw containers over HTTP. Containers are
+// opened lazily on first access and kept open while fresh: lookups
+// revalidate the object's current identity (fstat on the filesystem
+// backend, HEAD on the HTTP one) against the identity the reader holds, so
+// a container replaced underneath (PUT ingest, an external copy) is picked
+// up on the next request instead of being served stale forever. All readers
+// share one brick cache, so the byte budget bounds decoded memory across
+// the whole store regardless of how many fields are hot.
 type Server struct {
-	dir            string
+	st             store.Store
 	cache          *cache.Cache
 	maxIngestBytes int64
+	// revalidateEvery spaces identity probes of an open container: 0 means
+	// every lookup (the historical behavior, right for local fstat), > 0
+	// trusts an open reader for that long between probes (right for remote
+	// backends where a probe is a network round trip).
+	revalidateEvery time.Duration
 	// quar is the corruption negative cache: levels whose streams failed
 	// integrity checks, skipped by the degraded read path until they expire.
 	quar *quarantine
@@ -82,10 +90,25 @@ const DefaultQuarantineTTL = time.Minute
 // so tests and the traffic benchmark can run the real serving path
 // in-process).
 type Config struct {
-	// Dir is the directory of .mrw containers to serve.
+	// Store is the storage backend holding the .mrw containers. When nil,
+	// Dir names a local directory instead.
+	Store store.Store
+	// Dir is the directory of .mrw containers to serve (ignored when Store
+	// is set).
 	Dir string
 	// CacheBytes is the shared brick-cache budget (0 disables caching).
 	CacheBytes int64
+	// DiskCacheDir, when non-empty, attaches a disk spill tier to the brick
+	// cache: bricks evicted from memory land in budgeted spill files there
+	// and reload without a backend fetch + decode.
+	DiskCacheDir string
+	// DiskCacheBytes bounds the spill tier (required > 0 with DiskCacheDir).
+	DiskCacheBytes int64
+	// RevalidateEvery spaces identity probes of open containers: 0
+	// revalidates on every lookup, > 0 trusts an open reader that long
+	// between probes (recommended for remote backends, where each probe is
+	// a HEAD round trip).
+	RevalidateEvery time.Duration
 	// MaxIngestBytes caps the raw field size PUT ingest accepts.
 	MaxIngestBytes int64
 	// CacheShards is the brick cache shard count.
@@ -110,12 +133,13 @@ type Config struct {
 
 // New builds a Server from a Config.
 func New(cfg Config) (*Server, error) {
-	st, err := os.Stat(cfg.Dir)
-	if err != nil {
-		return nil, err
-	}
-	if !st.IsDir() {
-		return nil, fmt.Errorf("mrserve: %s is not a directory", cfg.Dir)
+	st := cfg.Store
+	if st == nil {
+		fsStore, err := store.NewFS(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		st = fsStore
 	}
 	ttl := cfg.QuarantineTTL
 	if ttl <= 0 {
@@ -126,27 +150,33 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceSlow > 0 {
 		col.SetSlowLog(cfg.TraceSlow, logger)
 	}
+	c := cache.New(cfg.CacheBytes, cfg.CacheShards)
+	if cfg.DiskCacheDir != "" {
+		if _, err := reader.EnableDiskTier(c, cfg.DiskCacheDir, cfg.DiskCacheBytes); err != nil {
+			return nil, fmt.Errorf("mrserve: disk cache tier: %w", err)
+		}
+	}
 	return &Server{
-		dir:            cfg.Dir,
-		cache:          cache.New(cfg.CacheBytes, cfg.CacheShards),
-		maxIngestBytes: cfg.MaxIngestBytes,
-		quar:           newQuarantine(ttl),
-		readerOpts:     cfg.ReaderOptions,
-		readers:        make(map[string]*readerEntry),
-		summaries:      make(map[string]cachedSummary),
-		metrics:        newMetricsRegistry(),
-		obs:            col,
-		accessLog:      logger,
-		logSample:      obs.NewSampler(cfg.LogSample),
+		st:              st,
+		cache:           c,
+		maxIngestBytes:  cfg.MaxIngestBytes,
+		revalidateEvery: cfg.RevalidateEvery,
+		quar:            newQuarantine(ttl),
+		readerOpts:      cfg.ReaderOptions,
+		readers:         make(map[string]*readerEntry),
+		summaries:       make(map[string]cachedSummary),
+		metrics:         newMetricsRegistry(),
+		obs:             col,
+		accessLog:       logger,
+		logSample:       obs.NewSampler(cfg.LogSample),
 	}, nil
 }
 
-// cachedSummary is a listing entry plus the file identity it was computed
-// from.
+// cachedSummary is a listing entry plus the object identity it was
+// computed from.
 type cachedSummary struct {
 	summary fieldSummary
-	size    int64
-	modTime time.Time
+	info    store.Info
 }
 
 // readerEntry is a per-field open slot. The sync.Once serializes the open
@@ -154,17 +184,21 @@ type cachedSummary struct {
 // (e.g. the sequential fallback scan of a large legacy container) blocks
 // only requests for that field. The reference count — one for residence in
 // the readers map, one per in-flight request — defers the Close of a
-// replaced container until its last in-flight request has finished, so a
-// file swap never yanks the reader out from under a response being written.
+// replaced container until its last in-flight request has finished, so an
+// object swap never yanks the reader out from under a response being
+// written.
 type readerEntry struct {
 	once sync.Once
-	r    *reader.FileReader
+	r    *reader.StoreReader
 	err  error
-	// size and modTime fstat the file actually opened (set by the once,
-	// under the server mutex); lookups compare them against a fresh stat of
-	// the path to detect replacement.
-	size    int64
-	modTime time.Time
+	// info is the identity of the object actually opened (set by the once,
+	// under the server mutex); lookups compare it against a fresh Stat of
+	// the key to detect replacement.
+	info store.Info
+	// lastCheck is when the identity was last confirmed against the store
+	// (under the server mutex); with RevalidateEvery > 0 a recent enough
+	// check lets a lookup skip the Stat round trip.
+	lastCheck time.Time
 
 	mu   sync.Mutex
 	refs int
@@ -262,15 +296,31 @@ func (s *Server) close() {
 // FieldIDs lists the ids currently present in the directory.
 func (s *Server) FieldIDs() ([]string, error) { return s.fieldIDs() }
 
-// fieldIDs lists the ids currently present in the directory.
+// fieldKey maps a field id to its container object key in the store.
+func fieldKey(id string) string { return id + ".mrw" }
+
+// dataDir returns the filesystem backend's directory ("" for non-local
+// stores) — the hook tests use to damage container bytes on disk.
+func (s *Server) dataDir() string {
+	if fsStore, ok := s.st.(*store.FS); ok {
+		return fsStore.Dir()
+	}
+	return ""
+}
+
+// fieldIDs lists the ids currently present in the store. Backends that
+// cannot enumerate (a plain HTTP origin) surface store.ErrUnsupported,
+// which the listing endpoint maps to 501.
 func (s *Server) fieldIDs() ([]string, error) {
-	matches, err := filepath.Glob(filepath.Join(s.dir, "*.mrw"))
+	keys, err := s.st.List(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]string, 0, len(matches))
-	for _, m := range matches {
-		ids = append(ids, strings.TrimSuffix(filepath.Base(m), ".mrw"))
+	ids := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if strings.HasSuffix(k, ".mrw") {
+			ids = append(ids, strings.TrimSuffix(k, ".mrw"))
+		}
 	}
 	sort.Strings(ids)
 	return ids, nil
@@ -284,14 +334,15 @@ func validID(id string) bool {
 
 // getReader returns the open reader for a field id (opening it on first
 // use) plus a release func the caller must invoke once done with it. The
-// server mutex covers only the map lookup and stat-revalidation; the open
-// itself runs under the entry's once, so concurrent requests for other
-// fields are never blocked by it.
-func (s *Server) getReader(ctx context.Context, id string) (*reader.FileReader, func(), error) {
+// server mutex covers only the map lookup and freshness bookkeeping; the
+// open itself runs under the entry's once and the revalidation Stat runs
+// outside any lock, so concurrent requests for other fields are never
+// blocked by either.
+func (s *Server) getReader(ctx context.Context, id string) (*reader.StoreReader, func(), error) {
 	if !validID(id) {
 		return nil, nil, errBadID
 	}
-	path := filepath.Join(s.dir, id+".mrw")
+	key := fieldKey(id)
 	var e *readerEntry
 	for {
 		s.mu.Lock()
@@ -306,19 +357,29 @@ func (s *Server) getReader(ctx context.Context, id string) (*reader.FileReader, 
 		}
 		e.acquire() // the request's reference
 		opened := e.r != nil
-		size, modTime := e.size, e.modTime
+		info := e.info
+		fresh := opened && s.revalidateEvery > 0 && time.Since(e.lastCheck) < s.revalidateEvery
 		s.mu.Unlock()
 		if !opened {
 			break // open in flight; join it below
 		}
-		// Stat-revalidate outside the server mutex (the stat may block on a
-		// slow filesystem and must not serialize unrelated requests): when
-		// the file at the path no longer matches the inode this reader
-		// holds, the container was replaced — drop the stale reader (closed
-		// once its in-flight requests drain), the listing summary, and the
-		// field's decoded bricks, then retry with a fresh entry.
-		st, err := os.Stat(path)
-		if err == nil && st.Size() == size && st.ModTime().Equal(modTime) {
+		if fresh {
+			return e.r, e.release, nil
+		}
+		// Revalidate outside the server mutex (the Stat may block on a slow
+		// filesystem or a network round trip and must not serialize
+		// unrelated requests): when the object at the key no longer matches
+		// the identity this reader holds, the container was replaced — drop
+		// the stale reader (closed once its in-flight requests drain), the
+		// listing summary, and the field's decoded bricks, then retry with a
+		// fresh entry.
+		cur, err := s.st.Stat(ctx, key)
+		if err == nil && cur.Same(info) {
+			s.mu.Lock()
+			if s.readers[id] == e {
+				e.lastCheck = time.Now()
+			}
+			s.mu.Unlock()
 			return e.r, e.release, nil
 		}
 		s.mu.Lock()
@@ -330,22 +391,20 @@ func (s *Server) getReader(ctx context.Context, id string) (*reader.FileReader, 
 	}
 	e.once.Do(func() {
 		opts := append([]reader.Option{reader.WithCache(s.cache), reader.WithCacheKey(id)}, s.readerOpts...)
-		// The opening request's trace gets the footer_read (or
-		// fallback_scan) span; requests that join a completed once pay
+		// The opening request's trace gets the store_read and footer_read
+		// (or fallback_scan) spans; requests that join a completed once pay
 		// nothing.
-		r, err := reader.OpenFileCtx(ctx, path, opts...)
-		var size int64
-		var modTime time.Time
+		r, err := reader.OpenStoreCtx(ctx, s.st, key, opts...)
+		var info store.Info
 		if err == nil {
-			if st, serr := r.Stat(); serr == nil {
-				size, modTime = st.Size(), st.ModTime()
-			}
+			info = r.StoreInfo()
 		}
 		// Store under the server mutex: /metrics, summarize, and close()
 		// read entries without going through this once.
 		s.mu.Lock()
 		e.r, e.err = r, err
-		e.size, e.modTime = size, modTime
+		e.info = info
+		e.lastCheck = time.Now()
 		s.mu.Unlock()
 	})
 	if e.err != nil {
@@ -398,8 +457,10 @@ func (s *Server) httpError(w http.ResponseWriter, err error) {
 	switch {
 	case err == errBadID:
 		http.Error(w, err.Error(), http.StatusBadRequest)
-	case os.IsNotExist(err):
+	case errors.Is(err, fs.ErrNotExist):
 		http.Error(w, "unknown field", http.StatusNotFound)
+	case errors.Is(err, store.ErrUnsupported):
+		http.Error(w, err.Error(), http.StatusNotImplemented)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "client canceled request", 499)
 	case faultio.IsTransient(err):
@@ -416,6 +477,42 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+}
+
+// --- conditional GETs ---------------------------------------------------------
+
+// cacheControlIntact is sent with full-fidelity responses: cacheable, but
+// revalidated against the strong ETag so a replaced container is picked up
+// within a minute.
+const cacheControlIntact = "public, max-age=60, must-revalidate"
+
+// containerETag is the strong validator of one served representation: the
+// container's index-section CRC and total size identify the object version
+// (the section covers every stream's offset, length, and payload checksum),
+// and the variant pins the representation (level, slice coordinates, JSON
+// vs binary). Identical over every storage backend.
+func containerETag(rd *reader.Reader, variant string) string {
+	return fmt.Sprintf("\"%08x-%x-%s\"", rd.Index().SectionCRC, rd.Size(), variant)
+}
+
+// etagMatch reports whether an If-None-Match header (a comma-separated tag
+// list, possibly weak-prefixed or "*") matches etag.
+func etagMatch(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c), "W/"))
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// notModified answers a matched conditional GET: 304 with the validator and
+// caching policy restated, no body.
+func notModified(w http.ResponseWriter, etag string) {
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", cacheControlIntact)
+	w.WriteHeader(http.StatusNotModified)
 }
 
 // writeField sends a field in the raw binary format (24-byte dims header +
@@ -493,41 +590,41 @@ type fieldSummary struct {
 // holding its container open: an already-open reader is reused, otherwise
 // the cached summary is served, otherwise a transient reader computes one
 // and is closed again.
-func (s *Server) summarize(id string, st os.FileInfo) (fieldSummary, error) {
+func (s *Server) summarize(ctx context.Context, id string, info store.Info) (fieldSummary, error) {
 	s.mu.Lock()
-	// An open reader is only trusted while it still matches the file on
-	// disk; a replaced container falls through to the stat-validated
+	// An open reader is only trusted while it still matches the stored
+	// object; a replaced container falls through to the identity-validated
 	// summary cache (or a fresh transient read), so the listing never shows
-	// the old file's shape for the new file.
-	if e, ok := s.readers[id]; ok && e.r != nil && e.size == st.Size() && e.modTime.Equal(st.ModTime()) {
+	// the old object's shape for the new one.
+	if e, ok := s.readers[id]; ok && e.r != nil && e.info.Same(info) {
 		rd := e.r
 		s.mu.Unlock()
-		return makeSummary(id, rd.Reader, st), nil
+		return makeSummary(id, rd.Reader, info), nil
 	}
-	if c, ok := s.summaries[id]; ok && c.size == st.Size() && c.modTime.Equal(st.ModTime()) {
+	if c, ok := s.summaries[id]; ok && c.info.Same(info) {
 		s.mu.Unlock()
 		return c.summary, nil
 	}
 	s.mu.Unlock()
 
-	rd, err := reader.OpenFile(filepath.Join(s.dir, id+".mrw"), reader.WithCache(nil))
+	rd, err := reader.OpenStoreCtx(ctx, s.st, fieldKey(id), reader.WithCache(nil))
 	if err != nil {
 		return fieldSummary{}, err
 	}
-	sum := makeSummary(id, rd.Reader, st)
+	sum := makeSummary(id, rd.Reader, info)
 	rd.Close()
 	s.mu.Lock()
-	s.summaries[id] = cachedSummary{summary: sum, size: st.Size(), modTime: st.ModTime()}
+	s.summaries[id] = cachedSummary{summary: sum, info: info}
 	s.mu.Unlock()
 	return sum, nil
 }
 
-func makeSummary(id string, rd *reader.Reader, st os.FileInfo) fieldSummary {
+func makeSummary(id string, rd *reader.Reader, info store.Info) fieldSummary {
 	nx, ny, nz := rd.Dims()
 	return fieldSummary{
 		ID: id, Nx: nx, Ny: ny, Nz: nz,
 		Levels:         rd.NumLevels(),
-		ContainerBytes: st.Size(),
+		ContainerBytes: info.Size,
 		Indexed:        !rd.FellBack(),
 	}
 }
@@ -540,11 +637,11 @@ func (s *Server) handleFields(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]fieldSummary, 0, len(ids))
 	for _, id := range ids {
-		st, err := os.Stat(filepath.Join(s.dir, id+".mrw"))
+		info, err := s.st.Stat(r.Context(), fieldKey(id))
 		if err != nil {
 			continue
 		}
-		sum, err := s.summarize(id, st)
+		sum, err := s.summarize(r.Context(), id, info)
 		if err != nil {
 			continue // unreadable container: omit rather than fail the listing
 		}
@@ -628,15 +725,34 @@ func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown level", http.StatusNotFound)
 		return
 	}
+	variant := fmt.Sprintf("L%d", l)
+	if r.URL.Query().Get("format") == "json" {
+		variant += "+json"
+	}
+	etag := containerETag(rd.Reader, variant)
+	// The validator depends only on the container version and the requested
+	// representation, so a match short-circuits before any decode: the
+	// client's cached copy (necessarily full-fidelity — degraded responses
+	// are never tagged) is still exactly right.
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		notModified(w, etag)
+		return
+	}
 	id := r.PathValue("id")
-	f, served, reason, err := s.readLevelDegraded(r.Context(), rd, id, l)
+	f, served, reason, err := s.readLevelDegraded(r.Context(), rd.Reader, id, l)
 	if err != nil {
 		s.httpError(w, err)
 		return
 	}
 	if reason != "" {
 		w.Header().Set("X-Degraded", degradedHeader(l, served, reason))
+		// Degraded payloads must not be cached or revalidated into
+		// freshness: the client should re-ask once the quarantine lifts.
+		w.Header().Set("Cache-Control", "no-cache")
 		s.metrics.degraded["level"].Add(1)
+	} else {
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", cacheControlIntact)
 	}
 	w.Header().Set("X-Mrw-Level", strconv.Itoa(served))
 	writeField(w, r, f)
@@ -680,17 +796,30 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("k out of range [0,%d)", dim), http.StatusBadRequest)
 		return
 	}
+	variant := fmt.Sprintf("%s%d-L%d", axis, k, l)
+	if q.Get("format") == "json" {
+		variant += "+json"
+	}
+	etag := containerETag(rd.Reader, variant)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		notModified(w, etag)
+		return
+	}
 	// Parameters were validated above; what remains is a server-side decode
 	// or I/O fault, handled by the degraded read path.
 	id := r.PathValue("id")
-	f, served, servedK, reason, err := s.readSliceDegraded(r.Context(), rd, id, axis, k, l)
+	f, served, servedK, reason, err := s.readSliceDegraded(r.Context(), rd.Reader, id, axis, k, l)
 	if err != nil {
 		s.httpError(w, err)
 		return
 	}
 	if reason != "" {
 		w.Header().Set("X-Degraded", degradedHeader(l, served, reason))
+		w.Header().Set("Cache-Control", "no-cache")
 		s.metrics.degraded["slice"].Add(1)
+	} else {
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", cacheControlIntact)
 	}
 	w.Header().Set("X-Mrw-Level", strconv.Itoa(served))
 	w.Header().Set("X-Mrw-Axis", axis.String())
@@ -789,11 +918,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad field payload: %v", err), status)
 		return
 	}
-	path := filepath.Join(s.dir, id+".mrw")
-	_, statErr := os.Stat(path)
-	res, err := repro.CompressToFile(f, opt, path)
+	_, statErr := s.st.Stat(r.Context(), fieldKey(id))
+	var res *repro.WriteResult
+	err = s.st.Install(r.Context(), fieldKey(id), func(dst io.Writer) error {
+		var werr error
+		res, werr = repro.CompressTo(f, opt, dst)
+		return werr
+	})
 	if err != nil {
-		// Filesystem faults are the server's problem; anything else is a
+		if errors.Is(err, store.ErrUnsupported) {
+			http.Error(w, err.Error(), http.StatusNotImplemented)
+			return
+		}
+		// Storage faults are the server's problem; anything else is a
 		// payload/parameter the pipeline rejected.
 		status := http.StatusBadRequest
 		var perr *fs.PathError
@@ -805,7 +942,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.invalidateField(id)
 	w.Header().Set("Content-Type", "application/json")
-	if os.IsNotExist(statErr) {
+	if errors.Is(statErr, fs.ErrNotExist) {
 		w.WriteHeader(http.StatusCreated)
 	}
 	writeJSON(w, map[string]any{
@@ -957,6 +1094,8 @@ type metricsSnapshot struct {
 	latencyHist                map[string]obs.HistogramSnapshot
 	stages                     []obs.StageSnapshot
 	cache                      cache.Stats
+	disk                       cache.DiskStats
+	diskOK                     bool
 	perField                   map[string]reader.Stats
 	ids                        []string
 	quarActive                 int
@@ -986,6 +1125,7 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 	snap.latencyHist = s.EndpointHistograms()
 	snap.stages = s.obs.StageSnapshots()
 	snap.cache = s.cache.Stats()
+	snap.disk, snap.diskOK = s.cache.DiskStats()
 	s.mu.Lock()
 	for id, e := range s.readers {
 		if e.r == nil {
@@ -1063,14 +1203,45 @@ func formatMetrics(w io.Writer, snap metricsSnapshot) {
 	p("# TYPE mrserve_cache_entries gauge\n")
 	p("mrserve_cache_entries %d\n", cst.Entries)
 
-	var decodes, bytesRead, retries, corrupt int64
+	// The disk spill tier's series appear only when a tier is configured,
+	// so dashboards can tell "no tier" from "tier idle".
+	if snap.diskOK {
+		dst := snap.disk
+		p("# HELP mrserve_disk_tier_hits_total Bricks reloaded from the disk spill tier.\n")
+		p("# TYPE mrserve_disk_tier_hits_total counter\n")
+		p("mrserve_disk_tier_hits_total %d\n", dst.Hits)
+		p("# HELP mrserve_disk_tier_misses_total Memory-tier misses not found on disk either.\n")
+		p("# TYPE mrserve_disk_tier_misses_total counter\n")
+		p("mrserve_disk_tier_misses_total %d\n", dst.Misses)
+		p("# HELP mrserve_disk_tier_writes_total Bricks spilled to disk on memory-tier eviction.\n")
+		p("# TYPE mrserve_disk_tier_writes_total counter\n")
+		p("mrserve_disk_tier_writes_total %d\n", dst.Writes)
+		p("# HELP mrserve_disk_tier_evictions_total Spill files displaced by the disk budget.\n")
+		p("# TYPE mrserve_disk_tier_evictions_total counter\n")
+		p("mrserve_disk_tier_evictions_total %d\n", dst.Evictions)
+		p("# HELP mrserve_disk_tier_bytes Bytes of spilled bricks currently on disk.\n")
+		p("# TYPE mrserve_disk_tier_bytes gauge\n")
+		p("mrserve_disk_tier_bytes %d\n", dst.Bytes)
+		p("# HELP mrserve_disk_tier_budget_bytes Configured disk spill budget.\n")
+		p("# TYPE mrserve_disk_tier_budget_bytes gauge\n")
+		p("mrserve_disk_tier_budget_bytes %d\n", dst.Budget)
+		p("# HELP mrserve_disk_tier_entries Spilled bricks currently on disk.\n")
+		p("# TYPE mrserve_disk_tier_entries gauge\n")
+		p("mrserve_disk_tier_entries %d\n", dst.Entries)
+	}
+
+	var decodes, bytesRead, retries, corrupt, coalesced int64
 	perField, ids := snap.perField, snap.ids
 	for _, st := range perField {
 		decodes += st.BackendDecodes
 		bytesRead += st.BytesRead
 		retries += st.Retries
 		corrupt += st.CorruptStreams
+		coalesced += st.CoalescedWaits
 	}
+	p("# HELP mrserve_coalesced_reads_total Brick requests that joined an in-flight decode of the same brick (singleflight).\n")
+	p("# TYPE mrserve_coalesced_reads_total counter\n")
+	p("mrserve_coalesced_reads_total %d\n", coalesced)
 	p("# HELP mrserve_backend_decodes_total Compressed streams decoded across all open fields.\n")
 	p("# TYPE mrserve_backend_decodes_total counter\n")
 	p("mrserve_backend_decodes_total %d\n", decodes)
@@ -1134,9 +1305,14 @@ func (s *Server) SweepLoop(interval time.Duration, stop <-chan struct{}) {
 }
 
 // sweepTemps removes stale AtomicFile temporaries (crash residue) from the
-// data directory.
+// backing store, when the backend can accumulate them (the filesystem one);
+// other backends have nothing to sweep.
 func (s *Server) sweepTemps() {
-	n, err := writer.SweepTemps(s.dir, staleTempAge)
+	sw, ok := s.st.(store.Sweeper)
+	if !ok {
+		return
+	}
+	n, err := sw.SweepTemps(staleTempAge)
 	if err == nil && n > 0 {
 		s.metrics.tempsSwept.Add(int64(n))
 	}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Open resolves a store URL to a backend:
+//
+//	file:///data/containers   (or a bare path)  → FS
+//	mem://                                       → a fresh empty Mem
+//	http://origin/path, https://…                → HTTP range-request backend
+func Open(rawurl string) (Store, error) {
+	switch {
+	case strings.HasPrefix(rawurl, "file://"):
+		return NewFS(strings.TrimPrefix(rawurl, "file://"))
+	case rawurl == "mem://" || rawurl == "mem:":
+		return NewMem(), nil
+	case strings.HasPrefix(rawurl, "http://") || strings.HasPrefix(rawurl, "https://"):
+		return NewHTTP(rawurl, HTTPOptions{})
+	case strings.Contains(rawurl, "://"):
+		return nil, fmt.Errorf("store: unsupported store url %q (want file://, mem://, or http(s)://)", rawurl)
+	case rawurl == "":
+		return nil, fmt.Errorf("store: empty store url")
+	default:
+		// A bare path is the local directory backend.
+		return NewFS(rawurl)
+	}
+}
+
+// OpenObjectURL resolves a URL naming one object — the directory (or origin
+// prefix) becomes the store, the final path element the key:
+//
+//	/data/x.mrw, file:///data/x.mrw  → FS over /data, key "x.mrw"
+//	http://origin/c/x.mrw            → HTTP over http://origin/c, key "x.mrw"
+func OpenObjectURL(rawurl string) (Store, string, error) {
+	if rawurl == "" {
+		return nil, "", fmt.Errorf("store: empty object url")
+	}
+	trimmed := strings.TrimPrefix(rawurl, "file://")
+	if strings.HasPrefix(rawurl, "http://") || strings.HasPrefix(rawurl, "https://") {
+		i := strings.LastIndex(rawurl, "/")
+		key := rawurl[i+1:]
+		if key == "" || strings.HasSuffix(rawurl[:i], "/") {
+			return nil, "", fmt.Errorf("store: url %q does not name an object", rawurl)
+		}
+		st, err := NewHTTP(rawurl[:i], HTTPOptions{})
+		if err != nil {
+			return nil, "", err
+		}
+		return st, key, nil
+	}
+	if strings.Contains(trimmed, "://") {
+		return nil, "", fmt.Errorf("store: unsupported object url %q", rawurl)
+	}
+	i := strings.LastIndexAny(trimmed, `/\`)
+	if i < 0 {
+		st, err := NewFS(".")
+		if err != nil {
+			return nil, "", err
+		}
+		return st, trimmed, nil
+	}
+	dir, key := trimmed[:i], trimmed[i+1:]
+	if dir == "" {
+		dir = "/"
+	}
+	if key == "" {
+		return nil, "", fmt.Errorf("store: url %q does not name an object", rawurl)
+	}
+	st, err := NewFS(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	return st, key, nil
+}

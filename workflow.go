@@ -81,6 +81,7 @@ import (
 	"repro/internal/postproc"
 	"repro/internal/reader"
 	"repro/internal/roi"
+	"repro/internal/store"
 	"repro/internal/uncertainty"
 )
 
@@ -416,6 +417,23 @@ func OpenContainerCached(src io.ReaderAt, size int64, c *BrickCache, key string)
 // OpenContainerFile opens a container file for random access.
 func OpenContainerFile(path string) (*ContainerFile, error) {
 	return reader.OpenFile(path)
+}
+
+// ContainerObject is a random-access reader over a container opened from a
+// storage backend (local path, file:// URL, or http(s):// origin).
+type ContainerObject = reader.StoreReader
+
+// OpenContainerURL opens a container named by a URL for random access: a
+// local path or file:// URL reads the filesystem; an http(s):// URL reads
+// the remote object with range requests — one suffix-range GET fetches the
+// index footer, and each stream read is a ranged GET, so a coarse level of
+// a large remote container costs kilobytes of transfer, not the file.
+func OpenContainerURL(rawurl string) (*ContainerObject, error) {
+	st, key, err := store.OpenObjectURL(rawurl)
+	if err != nil {
+		return nil, err
+	}
+	return reader.OpenStore(st, key)
 }
 
 // VerifyResult is the damage report of a container scrub: how many streams
