@@ -325,6 +325,29 @@ func BenchmarkHuffmanDecode(b *testing.B) {
 	}
 }
 
+// The interleaved-lane variants of the same decode. The serial (workers=1)
+// rows isolate the ILP win of overlapping lane dependency chains on one
+// core; the workers=0 row adds goroutine-parallel lanes on multi-core
+// machines.
+func benchmarkHuffmanDecodeLanes(b *testing.B, lanes, workers int) {
+	codes := huffmanBenchCodes(b)
+	enc := huffman.EncodeInterleaved(codes, lanes)
+	b.SetBytes(int64(len(codes) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := huffman.DecodeWorkers(enc, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHuffmanDecodeLanes2(b *testing.B) { benchmarkHuffmanDecodeLanes(b, 2, 1) }
+func BenchmarkHuffmanDecodeLanes4(b *testing.B) { benchmarkHuffmanDecodeLanes(b, 4, 1) }
+func BenchmarkHuffmanDecodeLanes8(b *testing.B) { benchmarkHuffmanDecodeLanes(b, 8, 1) }
+func BenchmarkHuffmanDecodeLanes4Workers(b *testing.B) {
+	benchmarkHuffmanDecodeLanes(b, 4, 0)
+}
+
 func BenchmarkROIConvert(b *testing.B) {
 	f := benchField(b)
 	b.SetBytes(int64(f.Bytes()))

@@ -55,6 +55,11 @@ type Params struct {
 	SZ2BlockSize int
 	// Interp selects the sz3 interpolant, as its wire byte.
 	Interp byte
+	// EntropyLanes selects the entropy stage's interleaved lane count for
+	// the huffman-based codecs (sz2, sz3): 0/1 single-lane (the default
+	// legacy format), EntropyLanesAuto to pick from the stream size, or an
+	// explicit power of two. Other codecs ignore it.
+	EntropyLanes int
 }
 
 // Codec is one compression backend behind the container pipeline.

@@ -1,0 +1,60 @@
+// Entropy-stage wire registry and the worker-aware decompression seam.
+//
+// The interleaved entropy format is the first wire change below the codec
+// payloads themselves: sz2/sz3 code streams may start with the interleaved
+// tag instead of a symbol count. The tag is declared next to the format in
+// internal/huffman and re-exported here so the wire-constant registry stays
+// the one place enumerating every on-the-wire discriminator.
+package codec
+
+import (
+	"context"
+	"strconv"
+
+	"repro/internal/field"
+	"repro/internal/huffman"
+	"repro/internal/obs"
+)
+
+// EntropyInterleavedTag is the wire discriminator of the interleaved
+// multi-lane entropy format inside sz2/sz3 payloads (see
+// huffman.InterleavedTag, its declared home). Stable forever: containers
+// written with interleaved entropy embed it in every code stream.
+const EntropyInterleavedTag = huffman.InterleavedTag
+
+// EntropyLanesAuto requests automatic lane selection from the stream size
+// wherever an entropy lane count is an option.
+const EntropyLanesAuto = -1
+
+// ValidEntropyLanes reports whether l is an acceptable EntropyLanes value:
+// EntropyLanesAuto (any negative), 0/1 for the single-lane format, or a
+// power of two up to huffman.MaxLanes.
+func ValidEntropyLanes(l int) bool { return huffman.ValidLanes(l) }
+
+// WorkerDecompressor is the optional interface of codecs whose Decompress
+// can exploit bounded goroutine parallelism inside a single payload (the
+// interleaved entropy lanes). workers follows the pipeline convention:
+// 1 is fully serial, ≤ 0 the runtime default. Implementations must return
+// identical results for every worker count.
+type WorkerDecompressor interface {
+	DecompressWorkers(data []byte, workers int) (*field.Field, error)
+}
+
+// DecompressWorkersCtx is DecompressCtx with a goroutine bound for codecs
+// that support intra-payload parallelism; others fall back to the plain
+// serial Decompress. The decode span gains a "workers" tag so traces show
+// which requests fanned out inside the entropy stage.
+func DecompressWorkersCtx(ctx context.Context, c Codec, data []byte, workers int) (*field.Field, error) {
+	wd, ok := c.(WorkerDecompressor)
+	if !ok || workers == 1 {
+		return DecompressCtx(ctx, c, data)
+	}
+	_, sp := obs.StartSpan(ctx, "decode")
+	if sp != nil {
+		sp.SetTag("codec", c.Name())
+		sp.SetTag("bytes", strconv.Itoa(len(data)))
+		sp.SetTag("workers", strconv.Itoa(workers))
+		defer sp.End()
+	}
+	return wd.DecompressWorkers(data, workers)
+}

@@ -154,6 +154,15 @@ type Options struct {
 	// TAC box. Default runtime.GOMAXPROCS(0); 1 gives fully serial
 	// execution. The container bytes are identical for every Workers value.
 	Workers int
+	// EntropyLanes selects the entropy stage's interleaved lane count for
+	// the huffman-based backends (sz2, sz3): 0 or 1 write the single-lane
+	// format (the default — containers stay byte-identical to earlier
+	// versions), codec.EntropyLanesAuto (any negative) picks from each
+	// stream's size, and an explicit power of two (≤ 64) writes that many
+	// lanes per code stream. Interleaved streams decode their lanes on up
+	// to Workers goroutines; decode needs no option — the format is
+	// self-describing.
+	EntropyLanes int
 	// LevelCodecs overrides the codec per resolution level (key = level,
 	// 0 = finest); levels not named use Compressor. The canonical use is
 	// mixing precision across the hierarchy — coarse levels lossless
@@ -182,6 +191,7 @@ func (o Options) params() codec.Params {
 		Beta:         o.Beta,
 		SZ2BlockSize: o.SZ2BlockSize,
 		Interp:       byte(o.Interp),
+		EntropyLanes: o.EntropyLanes,
 	}
 }
 
@@ -313,6 +323,10 @@ func decompressField(data []byte, c Compressor) (*field.Field, error) {
 }
 
 func decompressFieldCtx(ctx context.Context, data []byte, c Compressor) (f *field.Field, err error) {
+	return decompressFieldWorkersCtx(ctx, data, c, 1)
+}
+
+func decompressFieldWorkersCtx(ctx context.Context, data []byte, c Compressor, workers int) (f *field.Field, err error) {
 	cd, ok := codec.ByID(byte(c))
 	if !ok {
 		return nil, fmt.Errorf("core: %w", codec.ErrUnknownID(byte(c)))
@@ -327,7 +341,7 @@ func decompressFieldCtx(ctx context.Context, data []byte, c Compressor) (f *fiel
 			f, err = nil, faultio.Corrupt(fmt.Errorf("core: %s decode panicked: %v", cd.Name(), r))
 		}
 	}()
-	return codec.DecompressCtx(ctx, cd, data)
+	return codec.DecompressWorkersCtx(ctx, cd, data, workers)
 }
 
 // Compressed is a serialized multi-resolution compression result.
@@ -408,6 +422,9 @@ func (p *Prepared) checkCompressOptions() error {
 	}
 	if _, ok := codec.ByID(byte(p.opt.Compressor)); !ok {
 		return fmt.Errorf("core: %w", codec.ErrUnknownID(byte(p.opt.Compressor)))
+	}
+	if !codec.ValidEntropyLanes(p.opt.EntropyLanes) {
+		return fmt.Errorf("core: entropy lane count %d is not auto, 0/1, or a power of two ≤ 64", p.opt.EntropyLanes)
 	}
 	for l, c := range p.opt.LevelCodecs {
 		if l < 0 || l >= len(p.levels) {
@@ -889,8 +906,11 @@ func parseContainer(blob []byte) (*container, *grid.Hierarchy, error) {
 // index) with opt.Compressor. It is the per-stream decode seam the
 // random-access reader builds on; for mixed-codec containers the caller
 // sets opt.Compressor to the stream's own codec (index.Stream.Compressor).
+// A stream with interleaved entropy lanes decodes them on up to
+// opt.Workers goroutines (0 = runtime default, 1 = fully serial); the
+// decoded field is identical for every worker count.
 func DecodeStream(stream []byte, opt Options) (*field.Field, error) {
-	return decompressField(stream, opt.Compressor)
+	return DecodeStreamCtx(context.Background(), stream, opt)
 }
 
 // DecodeStreamCtx is DecodeStream with request-scoped observability: when
@@ -898,7 +918,20 @@ func DecodeStream(stream []byte, opt Options) (*field.Field, error) {
 // "decode" span tagged with the codec name. Untraced contexts cost one
 // context lookup.
 func DecodeStreamCtx(ctx context.Context, stream []byte, opt Options) (*field.Field, error) {
-	return decompressFieldCtx(ctx, stream, opt.Compressor)
+	return decompressFieldWorkersCtx(ctx, stream, opt.Compressor, streamWorkers(opt.Workers))
+}
+
+// streamWorkers normalizes an Options.Workers value for a single-stream
+// decode: 0 means the runtime default, negative clamps to fully serial,
+// matching the pipeline's convention.
+func streamWorkers(w int) int {
+	if w == 0 {
+		return parallel.Workers()
+	}
+	if w < 0 {
+		return 1
+	}
+	return w
 }
 
 // BuildIndex scans a full in-memory container and synthesizes the block
@@ -1031,7 +1064,15 @@ func decompressImpl(blob []byte, post postHook, workers int) (*grid.Hierarchy, e
 			if want, ok := crcs[j.offset]; ok && crc32.ChecksumIEEE(j.stream) != want {
 				return nil, faultio.Corrupt(streamErr(j.level, j.box, errors.New("stream checksum mismatch")))
 			}
-			f, err := decompressField(j.stream, j.codec)
+			// With one stream per wave the pool has no stream-level
+			// parallelism to exploit; hand the worker budget to the
+			// entropy stage instead, so an interleaved code stream still
+			// uses the cores.
+			lw := 1
+			if len(jobs) == 1 {
+				lw = workers
+			}
+			f, err := decompressFieldWorkersCtx(context.Background(), j.stream, j.codec, lw)
 			if err != nil {
 				return nil, streamErr(j.level, j.box, err)
 			}

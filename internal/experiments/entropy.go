@@ -10,9 +10,17 @@ import (
 	"repro/internal/sz3"
 )
 
+// entropyLaneSweep is the interleaved lane counts BENCH_entropy.json
+// tracks; 1 is the legacy single-lane format (measured as huffman_decode,
+// the name the trajectory has carried since PR 1).
+var entropyLaneSweep = []int{1, 2, 4, 8}
+
 // EntropyBench measures the entropy stage — canonical Huffman over bitio —
 // in isolation on the quantization-code stream sz3 produces for a Size³ Nyx
 // field (eb = 1e-3·range), plus the surrounding sz3 pipeline for context.
+// Decode is swept across the interleaved lane counts (huffman_decode_lanesN
+// rows), and cfg.Workers bounds the goroutines multi-lane decode and sz3
+// decompression may fan out to (0 = all cores, 1 = serial ILP only).
 // The committed BENCH_entropy.json tracks these numbers across PRs;
 // regenerate with `mrbench -exp entropy -size 128 -json BENCH_entropy.json`.
 func EntropyBench(cfg Config) (*benchfmt.Report, error) {
@@ -36,6 +44,8 @@ func EntropyBench(cfg Config) (*benchfmt.Report, error) {
 		"eb":            "1e-3 * value range",
 		"symbols":       len(codes),
 		"encoded_bytes": len(enc),
+		"lanes":         entropyLaneSweep,
+		"workers":       cfg.Workers,
 	}}
 	// Keep total wall clock a few seconds regardless of size.
 	iters := 1 << 24 / (cfg.Size * cfg.Size * cfg.Size)
@@ -55,6 +65,17 @@ func EntropyBench(cfg Config) (*benchfmt.Report, error) {
 			benchErr = err
 		}
 	})
+	for _, lanes := range entropyLaneSweep {
+		if lanes == 1 {
+			continue // the huffman_decode row above
+		}
+		il := huffman.EncodeInterleaved(codes, lanes)
+		rep.Measure(fmt.Sprintf("huffman_decode_lanes%d", lanes), iters, codeBytes, func() {
+			if _, err := huffman.DecodeWorkers(il, cfg.Workers); err != nil && benchErr == nil {
+				benchErr = err
+			}
+		})
+	}
 	fieldBytes := int64(f.Bytes())
 	rep.Measure("sz3_compress", iters, fieldBytes, func() {
 		if _, err := sz3.Compress(f, sz3.Options{EB: eb}); err != nil && benchErr == nil {
@@ -62,7 +83,7 @@ func EntropyBench(cfg Config) (*benchfmt.Report, error) {
 		}
 	})
 	rep.Measure("sz3_decompress", iters, fieldBytes, func() {
-		if _, err := sz3.Decompress(blob); err != nil && benchErr == nil {
+		if _, err := sz3.DecompressWorkers(blob, cfg.Workers); err != nil && benchErr == nil {
 			benchErr = err
 		}
 	})

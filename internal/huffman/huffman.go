@@ -2,6 +2,12 @@
 // quantization codes produced by the error-bounded compressors, mirroring the
 // entropy stage of SZ. The encoded stream is self-describing: it carries the
 // symbol dictionary and canonical code lengths, followed by the bit stream.
+//
+// Two wire formats share the dictionary and code assignment. The historical
+// single-lane format (Encode/Decode) is one sequential bitstream; the
+// interleaved format (EncodeInterleaved, see interleave.go) splits the symbol
+// stream into N fixed-stride lanes that decode independently — overlapped on
+// one core or spread across goroutines — behind the same Decode entry point.
 package huffman
 
 import (
@@ -26,6 +32,12 @@ const maxCodeLen = 57
 // 10 bits keeps the table at 2¹⁰ 32-byte entries (32 KiB), L1-resident —
 // measured faster than wider tables despite covering fewer long codes.
 const tableBits = 10
+
+// maxN bounds the plausible symbol count in a stream header. Both wire
+// formats enforce it before allocating, and the interleaved format's tag
+// (InterleavedTag) is deliberately chosen above it so a single-lane-only
+// decoder rejects interleaved streams instead of misparsing them.
+const maxN = 1 << 33
 
 type node struct {
 	freq        uint64
@@ -188,20 +200,38 @@ func histogram(data []int32) (symbols []int32, freqs []uint64, minS int32, span 
 	return symbols, freqs, minS, span, dense
 }
 
-// Encode compresses a sequence of int32 symbols. The output is
-// self-describing and decoded by Decode.
-func Encode(data []int32) []byte {
-	if len(data) == 0 {
-		var out []byte
-		out = binary.AppendUvarint(out, 0)
-		out = binary.AppendUvarint(out, 0)
-		return out
-	}
-	symbols, freqs, minS, span, dense := histogram(data)
+// sym is one dictionary entry: a symbol and its canonical code length.
+type sym struct {
+	s int32
+	l int
+}
 
-	var out []byte
-	out = binary.AppendUvarint(out, uint64(len(data)))
-	out = binary.AppendUvarint(out, uint64(len(symbols)))
+type symCode struct {
+	code uint64
+	len  uint8
+}
+
+// coder holds one canonical code assignment — the sorted dictionary, the
+// code values, and the symbol→code lookup — shared by the single-lane and
+// interleaved encoders, which differ only in how they walk the input and
+// frame the bitstream.
+type coder struct {
+	ss        []sym    // dictionary sorted by (length, symbol)
+	codes     []uint64 // canonical codes aligned with ss
+	totalBits int      // Σ freq·len over the whole input
+
+	// Symbol→code lookup, mirroring histogram's dense-vs-map choice.
+	dense   bool
+	minS    int32
+	codeVal []uint64 // dense: indexed by symbol-minS
+	codeLen []uint8
+	codeOf  map[int32]symCode // map fallback
+}
+
+// newCoder builds the canonical code assignment for data (which must be
+// non-empty).
+func newCoder(data []int32) *coder {
+	symbols, freqs, minS, span, dense := histogram(data)
 
 	// codeLengths may flatten freqs in place when limiting depth; keep the
 	// true counts for sizing the output bit stream.
@@ -209,10 +239,6 @@ func Encode(data []int32) []byte {
 	lengths := codeLengths(symbols, freqs)
 
 	// Sort symbols canonically: by (length, symbol value).
-	type sym struct {
-		s int32
-		l int
-	}
 	ss := make([]sym, len(symbols))
 	for i := range symbols {
 		ss[i] = sym{symbols[i], lengths[i]}
@@ -229,57 +255,110 @@ func Encode(data []int32) []byte {
 	}
 	codes := canonicalCodes(sortedLens)
 
-	// Serialize dictionary: symbols (zigzag delta) + lengths.
+	totalBits := 0
+	for i := range origFreqs {
+		totalBits += int(origFreqs[i]) * lengths[i]
+	}
+
+	c := &coder{ss: ss, codes: codes, totalBits: totalBits, dense: dense, minS: minS}
+	if dense {
+		c.codeVal = make([]uint64, span)
+		c.codeLen = make([]uint8, span)
+		for i, e := range ss {
+			idx := int64(e.s) - int64(minS)
+			c.codeVal[idx] = codes[i]
+			c.codeLen[idx] = uint8(e.l)
+		}
+	} else {
+		c.codeOf = make(map[int32]symCode, len(ss))
+		for i, e := range ss {
+			c.codeOf[e.s] = symCode{codes[i], uint8(e.l)}
+		}
+	}
+	return c
+}
+
+// appendDict serializes the dictionary — uvarint symbol count, then per
+// symbol a zigzag delta and a length byte — identically in both wire formats.
+func (c *coder) appendDict(out []byte) []byte {
+	out = binary.AppendUvarint(out, uint64(len(c.ss)))
 	prev := int64(0)
-	for _, e := range ss {
+	for _, e := range c.ss {
 		delta := int64(e.s) - prev
 		out = binary.AppendVarint(out, delta)
 		prev = int64(e.s)
 		out = append(out, byte(e.l))
 	}
+	return out
+}
+
+// bitLen returns the code length assigned to symbol v (which must occur in
+// the coder's input).
+func (c *coder) bitLen(v int32) int {
+	if c.dense {
+		return int(c.codeLen[int64(v)-int64(c.minS)])
+	}
+	return int(c.codeOf[v].len)
+}
+
+// emit appends the codes for data[start], data[start+stride], … to bw.
+func (c *coder) emit(bw *bitio.Writer, data []int32, start, stride int) {
+	if c.dense {
+		codeVal, codeLen, minS := c.codeVal, c.codeLen, int64(c.minS)
+		for i := start; i < len(data); i += stride {
+			idx := int64(data[i]) - minS
+			bw.WriteBits(codeVal[idx], uint(codeLen[idx]))
+		}
+		return
+	}
+	for i := start; i < len(data); i += stride {
+		sc := c.codeOf[data[i]]
+		bw.WriteBits(sc.code, uint(sc.len))
+	}
+}
+
+// Encode compresses a sequence of int32 symbols into the single-lane format.
+// The output is self-describing and decoded by Decode.
+func Encode(data []int32) []byte {
+	if len(data) == 0 {
+		var out []byte
+		out = binary.AppendUvarint(out, 0)
+		out = binary.AppendUvarint(out, 0)
+		return out
+	}
+	c := newCoder(data)
+
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(data)))
+	out = c.appendDict(out)
 
 	// Emit the bit stream. The writer appends to the header/dictionary
 	// buffer and is pre-grown to the exact stream size (Σ freq·len), so the
-	// hot loop never reallocates. Symbol→code lookup mirrors the histogram:
-	// dense offset-indexed arrays when the symbol range is small, map
-	// fallback otherwise.
-	totalBits := 0
-	for i := range origFreqs {
-		totalBits += int(origFreqs[i]) * lengths[i]
-	}
+	// hot loop never reallocates.
 	bw := bitio.NewWriterAppend(out)
-	bw.Grow(totalBits)
-	if dense {
-		codeVal := make([]uint64, span)
-		codeLen := make([]uint8, span)
-		for i, e := range ss {
-			idx := int64(e.s) - int64(minS)
-			codeVal[idx] = codes[i]
-			codeLen[idx] = uint8(e.l)
-		}
-		for _, v := range data {
-			idx := int64(v) - int64(minS)
-			bw.WriteBits(codeVal[idx], uint(codeLen[idx]))
-		}
-	} else {
-		type symCode struct {
-			code uint64
-			len  uint8
-		}
-		codeOf := make(map[int32]symCode, len(ss))
-		for i, e := range ss {
-			codeOf[e.s] = symCode{codes[i], uint8(e.l)}
-		}
-		for _, v := range data {
-			c := codeOf[v]
-			bw.WriteBits(c.code, uint(c.len))
-		}
-	}
+	bw.Grow(c.totalBits)
+	c.emit(bw, data, 0, 1)
 	return bw.Finish()
 }
 
-// Decode reverses Encode.
-func Decode(buf []byte) ([]int32, error) {
+// Decode reverses Encode and EncodeInterleaved: the first uvarint
+// distinguishes the formats (InterleavedTag is not a plausible symbol
+// count). Interleaved streams decode serially here — DecodeWorkers adds
+// goroutine-parallel lanes.
+func Decode(buf []byte) ([]int32, error) { return decode(buf, 1) }
+
+// DecodeWorkers is Decode with an explicit goroutine bound for the lanes of
+// an interleaved stream: 1 decodes all lanes interleaved on the calling
+// goroutine (ILP only), larger values spread lanes across up to that many
+// goroutines, and values ≤ 0 use the runtime default (GOMAXPROCS). The
+// single-lane format ignores workers. The result is identical for every
+// worker count.
+func DecodeWorkers(buf []byte, workers int) ([]int32, error) { return decode(buf, workers) }
+
+func decode(buf []byte, workers int) ([]int32, error) {
+	if tag, m := binary.Uvarint(buf); m > 0 && tag == InterleavedTag {
+		return decodeInterleaved(buf[m:], workers)
+	}
 	n, k, err := readHeader(&buf)
 	if err != nil {
 		return nil, err
@@ -290,35 +369,102 @@ func Decode(buf []byte) ([]int32, error) {
 	if k == 0 {
 		return nil, errors.New("huffman: zero symbols for nonzero data")
 	}
-	syms := make([]int32, k)
-	lens := make([]int, k)
+	syms, lens, buf, err := parseDict(buf, k)
+	if err != nil {
+		return nil, err
+	}
+	t, err := newDecodeTable(syms, lens, n)
+	if err != nil {
+		return nil, err
+	}
+	// Every code is at least one bit, so the payload bounds the symbol
+	// count; checking before the allocation below keeps a corrupt header
+	// from demanding gigabytes for a few bytes of stream.
+	if n > len(buf)*8 {
+		return nil, fmt.Errorf("huffman: %d-byte stream cannot hold %d symbols: %w", len(buf), n, bitio.ErrOutOfBits)
+	}
+	br := bitio.NewReader(buf)
+	// maxBatch slack lets the batch path store a full fixed-size array (a
+	// few plain moves instead of a variable-length copy); the tail beyond n
+	// is trimmed on return and never decoded.
+	out := make([]int32, n+maxBatch)
+	if err := t.decodeAll(br, out, n); err != nil {
+		return nil, err
+	}
+	return out[:n:n], nil
+}
+
+// parseDict reads the k-entry dictionary (zigzag-delta symbols + length
+// bytes) and checks it is sorted by (length, symbol) as canonical decode
+// requires. It returns the symbols, lengths, and the remaining bytes.
+func parseDict(buf []byte, k int) (syms []int32, lens []int, rest []byte, err error) {
+	syms = make([]int32, k)
+	lens = make([]int, k)
 	prev := int64(0)
 	for i := 0; i < k; i++ {
 		delta, m := binary.Varint(buf)
 		if m <= 0 {
-			return nil, errors.New("huffman: truncated dictionary")
+			return nil, nil, nil, errors.New("huffman: truncated dictionary")
 		}
 		buf = buf[m:]
 		prev += delta
 		if prev > math.MaxInt32 || prev < math.MinInt32 {
-			return nil, errors.New("huffman: symbol out of range")
+			return nil, nil, nil, errors.New("huffman: symbol out of range")
 		}
 		syms[i] = int32(prev)
 		if len(buf) == 0 {
-			return nil, errors.New("huffman: truncated lengths")
+			return nil, nil, nil, errors.New("huffman: truncated lengths")
 		}
 		lens[i] = int(buf[0])
 		if lens[i] == 0 || lens[i] > maxCodeLen+1 {
-			return nil, fmt.Errorf("huffman: invalid code length %d", lens[i])
+			return nil, nil, nil, fmt.Errorf("huffman: invalid code length %d", lens[i])
 		}
 		buf = buf[1:]
 	}
-	// Dictionary must be sorted by (length, symbol) for canonical decode.
 	for i := 1; i < k; i++ {
 		if lens[i] < lens[i-1] {
-			return nil, errors.New("huffman: dictionary not canonical")
+			return nil, nil, nil, errors.New("huffman: dictionary not canonical")
 		}
 	}
+	return syms, lens, buf, nil
+}
+
+// maxBatch is the number of symbols one decode-table entry can hold.
+const maxBatch = 7
+
+type tableEntry struct {
+	n     uint8 // symbols fully decoded within the window
+	total uint8 // bits consumed by those n symbols
+	first uint8 // bit length of the first symbol; 0 → long-code fallback
+	syms  [maxBatch]int32
+}
+
+// decodeTable is the table-driven canonical decoder state, shared by the
+// single-lane loop and every lane of an interleaved stream (the lanes share
+// one code table by construction).
+//
+// The primary table maps every possible value of the next tb bits to the
+// symbols that decode from it. Because SZ quantization streams are dominated
+// by 1–3-bit codes, one window usually holds several complete symbols, so
+// each entry stores the whole batch — one Peek/lookup/Skip round-trip emits
+// up to maxBatch symbols, amortizing the serial bit-position dependency that
+// otherwise bounds Huffman decode throughput. Codes longer than tb fall back
+// to the canonical first-code scan.
+type decodeTable struct {
+	syms      []int32
+	maxLen    int
+	tb        int
+	firstCode []uint64
+	firstIdx  []int
+	countAt   []int
+	entries   []tableEntry
+}
+
+// newDecodeTable validates the code lengths (Kraft sum) and fills the lookup
+// table. n is the total symbol count of the stream, used only to size the
+// table for small streams.
+func newDecodeTable(syms []int32, lens []int, n int) (*decodeTable, error) {
+	k := len(syms)
 	codes := canonicalCodes(lens)
 
 	// Canonical decoding: per length, the first code and symbol index.
@@ -344,30 +490,12 @@ func Decode(buf []byte) ([]int32, error) {
 		countAt[lens[i]]++
 	}
 
-	// Table-driven decode: the primary table maps every possible value of
-	// the next tb bits to the symbols that decode from it. Because SZ
-	// quantization streams are dominated by 1–3-bit codes, one window
-	// usually holds several complete symbols, so each entry stores the whole
-	// batch — one Peek/lookup/Skip round-trip emits up to maxBatch symbols,
-	// amortizing the serial bit-position dependency that otherwise bounds
-	// Huffman decode throughput. Codes longer than tb fall back to the
-	// canonical first-code scan. Peek zero-pads past the end of the buffer,
-	// so Skip performs the authoritative bounds check: a code that would
-	// extend past the last byte is reported as truncation, exactly like the
-	// historical bit-at-a-time decoder.
 	tb := tableBits
 	if maxLen < tb {
 		tb = maxLen
 	}
 	if n < 1<<14 && tb > 8 {
 		tb = 8 // small streams don't amortize the full-width table build
-	}
-	const maxBatch = 7
-	type tableEntry struct {
-		n     uint8 // symbols fully decoded within the window
-		total uint8 // bits consumed by those n symbols
-		first uint8 // bit length of the first symbol; 0 → long-code fallback
-		syms  [maxBatch]int32
 	}
 	table := make([]tableEntry, 1<<uint(tb))
 	for w := range table {
@@ -394,14 +522,22 @@ func Decode(buf []byte) ([]int32, error) {
 		}
 		e.total = uint8(pos)
 	}
+	return &decodeTable{
+		syms: syms, maxLen: maxLen, tb: tb,
+		firstCode: firstCode, firstIdx: firstIdx, countAt: countAt,
+		entries: table,
+	}, nil
+}
 
-	br := bitio.NewReader(buf)
-	// maxBatch slack lets the batch path store a full fixed-size array (a
-	// few plain moves instead of a variable-length copy); the tail beyond n
-	// is trimmed on return and never decoded.
-	out := make([]int32, n+maxBatch)
+// decodeAll drains one sequential bitstream into out[0:n]. out must have
+// maxBatch slack beyond n for the fixed-size batch store. Peek zero-pads
+// past the end of the buffer, so Skip performs the authoritative bounds
+// check: a code that would extend past the last byte is reported as
+// truncation, exactly like the historical bit-at-a-time decoder.
+func (t *decodeTable) decodeAll(br *bitio.Reader, out []int32, n int) error {
+	entries, tb := t.entries, uint(t.tb)
 	for i := 0; i < n; {
-		e := &table[br.Peek(uint(tb))]
+		e := &entries[br.Peek(tb)]
 		if nb := int(e.n); nb > 0 {
 			if i+nb <= n {
 				if err := br.Skip(uint(e.total)); err == nil {
@@ -413,36 +549,40 @@ func Decode(buf []byte) ([]int32, error) {
 			// Output tail or truncated stream: take exactly one symbol with
 			// a precise per-symbol bounds check.
 			if err := br.Skip(uint(e.first)); err != nil {
-				return nil, fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, err)
+				return fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, err)
 			}
 			out[i] = e.syms[0]
 			i++
 			continue
 		}
-		// Long code: scan lengths beyond the table width against the
-		// canonical first-code ranges.
-		pk := br.Peek(uint(maxLen))
-		matched := false
-		for l := tb + 1; l <= maxLen; l++ {
-			code := pk >> uint(maxLen-l)
-			if countAt[l] > 0 && code >= firstCode[l] && code < firstCode[l]+uint64(countAt[l]) {
-				if err := br.Skip(uint(l)); err != nil {
-					return nil, fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, err)
-				}
-				out[i] = syms[firstIdx[l]+int(code-firstCode[l])]
-				matched = true
-				break
-			}
+		s, err := t.decodeLong(br, i)
+		if err != nil {
+			return err
 		}
-		if !matched {
-			if br.Remaining() < maxLen {
-				return nil, fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, bitio.ErrOutOfBits)
-			}
-			return nil, errors.New("huffman: invalid code in stream")
-		}
+		out[i] = s
 		i++
 	}
-	return out[:n:n], nil
+	return nil
+}
+
+// decodeLong resolves one code longer than the table width by scanning the
+// canonical first-code ranges. i only labels the error.
+func (t *decodeTable) decodeLong(br *bitio.Reader, i int) (int32, error) {
+	maxLen := t.maxLen
+	pk := br.Peek(uint(maxLen))
+	for l := t.tb + 1; l <= maxLen; l++ {
+		code := pk >> uint(maxLen-l)
+		if t.countAt[l] > 0 && code >= t.firstCode[l] && code < t.firstCode[l]+uint64(t.countAt[l]) {
+			if err := br.Skip(uint(l)); err != nil {
+				return 0, fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, err)
+			}
+			return t.syms[t.firstIdx[l]+int(code-t.firstCode[l])], nil
+		}
+	}
+	if br.Remaining() < maxLen {
+		return 0, fmt.Errorf("huffman: truncated bit stream at symbol %d: %w", i, bitio.ErrOutOfBits)
+	}
+	return 0, errors.New("huffman: invalid code in stream")
 }
 
 func readHeader(buf *[]byte) (n, k int, err error) {
@@ -456,7 +596,6 @@ func readHeader(buf *[]byte) (n, k int, err error) {
 		return 0, 0, errors.New("huffman: truncated header")
 	}
 	*buf = (*buf)[m:]
-	const maxN = 1 << 33
 	if un > maxN || uk > un+1 {
 		return 0, 0, fmt.Errorf("huffman: implausible header n=%d k=%d", un, uk)
 	}

@@ -95,6 +95,11 @@ func TestCorruptionSweepVerifiedContainer(t *testing.T) {
 	for name, opt := range map[string]core.Options{
 		"tac":    {EB: eb, Arrangement: core.ArrangeTAC},
 		"linear": {EB: eb, Arrangement: core.ArrangeLinear},
+		// Interleaved multi-lane entropy streams add per-lane headers and
+		// lane payloads to the attack surface; a flip in any of them must
+		// fail the per-stream CRC or the lane decoder, never read back
+		// silently different data.
+		"interleaved": {EB: eb, Arrangement: core.ArrangeTAC, EntropyLanes: 4},
 	} {
 		t.Run(name, func(t *testing.T) {
 			blob := compress(t, h, opt)

@@ -155,3 +155,29 @@ func TestIngestMixedLevelCodecs(t *testing.T) {
 		}
 	}
 }
+
+// TestIngestEntropyLanes uploads with ?lanes=4 and checks the interleaved
+// container serves every level byte-exactly as the local pipeline with the
+// same lane count, while malformed lane counts fail the ingest with a 400.
+func TestIngestEntropyLanes(t *testing.T) {
+	ts, _ := codecTestServer(t)
+	f := synth.Generate(synth.Nyx, 32, 6)
+	if code, body := doPut(t, ts.URL+"/v1/field/il?lanes=4", rawFieldBody(t, f)); code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", code, body)
+	}
+	want := ingestExpectedLevels(t, f, repro.Options{RelEB: 1e-3, EntropyLanes: 4})
+	for li := range want {
+		code, body, _ := get(t, fmt.Sprintf("%s/v1/field/il/level/%d", ts.URL, li))
+		if code != http.StatusOK {
+			t.Fatalf("level %d: %d", li, code)
+		}
+		if got := parseRawField(t, body); !got.Equal(want[li]) {
+			t.Fatalf("level %d served data differs from local pipeline", li)
+		}
+	}
+	for _, q := range []string{"lanes=3", "lanes=-4", "lanes=128", "lanes=zow"} {
+		if code, body := doPut(t, ts.URL+"/v1/field/bad?"+q, rawFieldBody(t, f)); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", q, code, body)
+		}
+	}
+}

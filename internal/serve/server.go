@@ -834,6 +834,8 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 // names (?codec=, its legacy alias ?compressor=, and the per-level
 // ?levelcodecs= spec) are validated against the codec registry, so an
 // unknown name fails with a message enumerating what is registered.
+// ?lanes= opts the huffman-based backends into interleaved multi-lane
+// entropy ("auto" or a power of two ≤ 64); an invalid value is a 400.
 func ingestOptions(q url.Values) (repro.Options, error) {
 	opt := repro.Options{RelEB: 1e-3, ROIBlockB: 16, ROITopFrac: 0.5}
 	if v := q.Get("releb"); v != "" {
@@ -867,6 +869,13 @@ func ingestOptions(q url.Values) (repro.Options, error) {
 			return opt, err
 		}
 		opt.LevelCodecs = m
+	}
+	if v := q.Get("lanes"); v != "" {
+		n, err := repro.ParseEntropyLanes(v)
+		if err != nil {
+			return opt, err
+		}
+		opt.EntropyLanes = n
 	}
 	if v := q.Get("roiblock"); v != "" {
 		n, err := strconv.Atoi(v)

@@ -44,6 +44,14 @@ type Options struct {
 	EB float64
 	// BlockSize is the cubic block edge (default DefaultBlockSize).
 	BlockSize int
+	// EntropyLanes selects the entropy stage's lane count: 0 or 1 keep the
+	// single-lane huffman format (the default, byte-identical to earlier
+	// versions), negative selects automatically from each stream's size,
+	// and an explicit power of two (≤ huffman.MaxLanes) writes that many
+	// interleaved lanes. Both code chunks use it; the small regression
+	// coefficient chunk shrinks the count so no lane is empty. Streams of
+	// every lane count decode through the same Decompress.
+	EntropyLanes int
 }
 
 const magic = "SZ2B"
@@ -58,6 +66,9 @@ const (
 func Compress(f *field.Field, opt Options) ([]byte, error) {
 	if opt.EB <= 0 {
 		return nil, errors.New("sz2: error bound must be positive")
+	}
+	if !huffman.ValidLanes(opt.EntropyLanes) {
+		return nil, fmt.Errorf("sz2: invalid entropy lane count %d", opt.EntropyLanes)
 	}
 	bs := opt.BlockSize
 	if bs == 0 {
@@ -143,8 +154,8 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 		payload.Write(b)
 	}
 	writeChunk(packBits(modes))
-	writeChunk(huffman.Encode(coefCodes))
-	writeChunk(huffman.Encode(codes))
+	writeChunk(huffman.EncodeInterleaved(coefCodes, opt.EntropyLanes))
+	writeChunk(huffman.EncodeInterleaved(codes, opt.EntropyLanes))
 	var outBuf bytes.Buffer
 	for _, v := range q.Outliers {
 		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
@@ -156,7 +167,13 @@ func Compress(f *field.Field, opt Options) ([]byte, error) {
 }
 
 // Decompress decodes a buffer produced by Compress.
-func Decompress(data []byte) (*field.Field, error) {
+func Decompress(data []byte) (*field.Field, error) { return DecompressWorkers(data, 1) }
+
+// DecompressWorkers is Decompress with a goroutine bound for the entropy
+// stage: interleaved code chunks decode their lanes on up to workers
+// goroutines (≤ 0 means the runtime default). Single-lane chunks and
+// workers == 1 decode fully serially. The result is identical either way.
+func DecompressWorkers(data []byte, workers int) (*field.Field, error) {
 	fr := flate.NewReader(bytes.NewReader(data))
 	payload, err := io.ReadAll(fr)
 	if err != nil {
@@ -242,11 +259,11 @@ func Decompress(data []byte) (*field.Field, error) {
 
 	nBlocks := blocksAlong(nx, bs) * blocksAlong(ny, bs) * blocksAlong(nz, bs)
 	modes := unpackBits(modesPacked, nBlocks)
-	coefCodes, err := huffman.Decode(coefChunk)
+	coefCodes, err := huffman.DecodeWorkers(coefChunk, workers)
 	if err != nil {
 		return nil, err
 	}
-	codes, err := huffman.Decode(codeChunk)
+	codes, err := huffman.DecodeWorkers(codeChunk, workers)
 	if err != nil {
 		return nil, err
 	}
